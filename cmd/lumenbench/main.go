@@ -1,0 +1,201 @@
+// Command lumenbench runs Lumen's benchmarking suite and regenerates the
+// paper's tables and figures: Table 1, Fig. 1a–c, Fig. 5–10, the §5.2
+// validation and the §5.4 improvement results (Obs. 5).
+//
+// Usage:
+//
+//	lumenbench                         # everything, default scale
+//	lumenbench -fig 5                  # only Fig. 5
+//	lumenbench -algs A13,A14 -datasets F1,F4
+//	lumenbench -out results/           # also write results.json + CSVs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"lumen/internal/benchsuite"
+	"lumen/internal/report"
+)
+
+func main() {
+	var (
+		scale    = flag.Float64("scale", 0.6, "dataset scale factor (1.0 = full synthetic size)")
+		seed     = flag.Int64("seed", 7, "random seed")
+		fig      = flag.String("fig", "all", "which output: all, table1, 1a, 5, 6, 7, 8, 9, 10, validate, obs2, features")
+		algs     = flag.String("algs", "", "comma-separated algorithm IDs (default: all 16)")
+		datasets = flag.String("datasets", "", "comma-separated dataset IDs (default: all 15)")
+		out      = flag.String("out", "", "directory to write results.json and CSV figures")
+	)
+	flag.Parse()
+
+	cfg := benchsuite.Config{Scale: *scale, Seed: *seed}
+	if *algs != "" {
+		cfg.AlgIDs = strings.Split(*algs, ",")
+	}
+	if *datasets != "" {
+		cfg.DatasetIDs = strings.Split(*datasets, ",")
+	}
+	if err := run(cfg, *fig, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "lumenbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg benchsuite.Config, fig, out string) error {
+	want := func(ids ...string) bool {
+		if fig == "all" {
+			return true
+		}
+		for _, id := range ids {
+			if fig == id {
+				return true
+			}
+		}
+		return false
+	}
+
+	if want("table1") {
+		fmt.Println("== Table 1: surveyed algorithms ==")
+		fmt.Println(benchsuite.Table1())
+	}
+	if want("1a") {
+		fmt.Println("== Fig 1a: possible direct comparisons in the literature ==")
+		fmt.Println(benchsuite.Fig1a())
+		fmt.Printf("fraction with zero possible comparisons: %.0f%%\n\n", benchsuite.Fig1aZeroFraction()*100)
+	}
+
+	needRuns := want("1b", "1c", "5", "6", "7", "8", "9", "10", "obs2")
+	needValidate := want("validate")
+	needFeatures := want("features")
+	if !needRuns && !needValidate && !needFeatures {
+		return nil
+	}
+
+	s, err := benchsuite.New(cfg)
+	if err != nil {
+		return err
+	}
+	if needFeatures {
+		rows, err := s.AttackFeatureImportance(5)
+		if err != nil {
+			return err
+		}
+		fmt.Println("== §6 extension: relevant features per attack (permutation importance) ==")
+		fmt.Println(benchsuite.FeatureImportanceTable(rows))
+	}
+	var files []namedCSV
+
+	if needRuns {
+		fmt.Printf("running suite: %d algorithms x %d datasets (scale %.2f)\n",
+			len(s.Algorithms()), len(s.DatasetIDs()), cfg.Scale)
+		s.RunAll()
+		fmt.Printf("completed %d runs\n\n", len(s.Store.Results))
+
+		if want("5") {
+			h := s.Fig5()
+			fmt.Println("== Fig 5 ==")
+			fmt.Println(h)
+			files = append(files, namedCSV{"fig5.csv", h.CSV()})
+		}
+		if want("7") {
+			rows := s.Fig7()
+			var pd, rd []report.Dist
+			for _, r := range rows {
+				pd = append(pd, r.PrecDiff)
+				rd = append(rd, r.RecDiff)
+			}
+			fmt.Println("== Fig 7a: precision distance from best (0 = optimal) ==")
+			fmt.Println(report.DistTable("alg", pd))
+			fmt.Println("== Fig 7b: recall distance from best ==")
+			fmt.Println(report.DistTable("alg", rd))
+		}
+		if want("8", "1b") {
+			p, r := s.Fig8()
+			fmt.Println("== Fig 8a / Fig 1b: same-dataset precision ==")
+			fmt.Println(report.DistTable("alg", p))
+			fmt.Println("== Fig 8b: same-dataset recall ==")
+			fmt.Println(report.DistTable("alg", r))
+		}
+		if want("9", "1c") {
+			p, r := s.Fig9()
+			fmt.Println("== Fig 9a / Fig 1c: cross-dataset precision ==")
+			fmt.Println(report.DistTable("alg", p))
+			fmt.Println("== Fig 9b: cross-dataset recall ==")
+			fmt.Println(report.DistTable("alg", r))
+		}
+		if want("10") {
+			hp, hr := s.Fig10()
+			fmt.Println("== Fig 10 ==")
+			fmt.Println(hp)
+			fmt.Println(hr)
+			files = append(files, namedCSV{"fig10a.csv", hp.CSV()}, namedCSV{"fig10b.csv", hr.CSV()})
+		}
+		if want("obs2") {
+			sp, sr, cp, cr := s.Obs2(0.2)
+			n := len(s.Algorithms())
+			fmt.Println("== Observation 2 (score < 20% on at least one dataset) ==")
+			fmt.Printf("same-dataset:  precision %d/%d algorithms, recall %d/%d\n", sp, n, sr, n)
+			fmt.Printf("cross-dataset: precision %d/%d algorithms, recall %d/%d\n\n", cp, n, cr, n)
+		}
+		if want("6") {
+			res, err := s.Fig6(0.10)
+			if err != nil {
+				return err
+			}
+			fmt.Println("== Fig 6 ==")
+			fmt.Println(res.Heatmap)
+			files = append(files, namedCSV{"fig6.csv", res.Heatmap.CSV()})
+			fmt.Println("== Observation 5: merged-training / synthesis improvement over same-dataset mean ==")
+			ids := make([]string, 0, len(res.MeanPrecision))
+			for id := range res.MeanPrecision {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			imp := s.Obs5(res)
+			for _, id := range ids {
+				line := fmt.Sprintf("%s: merged precision %.1f%%", id, res.MeanPrecision[id]*100)
+				if d, ok := imp[id]; ok {
+					line += fmt.Sprintf(" (%+.1f%% vs its same-dataset mean)", d*100)
+				}
+				fmt.Println(line)
+			}
+			fmt.Println()
+		}
+	}
+	if needValidate {
+		rows, err := s.Validate()
+		if err != nil {
+			return err
+		}
+		fmt.Println("== §5.2 validation: Lumen vs originally reported scores ==")
+		fmt.Println(benchsuite.ValidationTable(rows))
+	}
+
+	if out != "" {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+		if needRuns {
+			if err := s.Store.Save(filepath.Join(out, "results.json")); err != nil {
+				return err
+			}
+		}
+		for _, f := range files {
+			if err := os.WriteFile(filepath.Join(out, f.name), []byte(f.data), 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Println("wrote", out)
+	}
+	return nil
+}
+
+type namedCSV struct {
+	name string
+	data string
+}

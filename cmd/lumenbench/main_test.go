@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+
+	"lumen/internal/benchsuite"
+)
+
+func TestRunStaticFigures(t *testing.T) {
+	if err := run(benchsuite.Config{Scale: 0.2, Seed: 1}, "table1", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(benchsuite.Config{Scale: 0.2, Seed: 1}, "1a", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunScopedFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	cfg := benchsuite.Config{
+		Scale:      0.2,
+		Seed:       1,
+		AlgIDs:     []string{"A14", "A15"},
+		DatasetIDs: []string{"F1", "F4"},
+	}
+	if err := run(cfg, "8", t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidateScoped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	cfg := benchsuite.Config{
+		Scale:      0.2,
+		Seed:       1,
+		AlgIDs:     []string{"A07", "A10", "A14"},
+		DatasetIDs: []string{"F0", "F1", "F2", "F4"},
+	}
+	if err := run(cfg, "validate", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadScope(t *testing.T) {
+	if err := run(benchsuite.Config{AlgIDs: []string{"A99"}}, "8", ""); err == nil {
+		t.Fatal("unknown algorithm scope should fail")
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lumen/internal/pcap"
+)
+
+func TestRunWritesPcapAndLabels(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "f1.pcap")
+	labels := filepath.Join(dir, "f1.csv")
+	if err := run("F1", 0.2, out, labels); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := pcap.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkts) < 100 {
+		t.Fatalf("pcap has %d packets, want >= 100", len(pkts))
+	}
+	data, err := os.ReadFile(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != len(pkts)+1 { // header + one row per packet
+		t.Fatalf("label rows %d, want %d", len(lines), len(pkts)+1)
+	}
+	if lines[0] != "index,label,attack" {
+		t.Errorf("header = %q", lines[0])
+	}
+	sawMalicious := false
+	for _, l := range lines[1:] {
+		if strings.Contains(l, ",1,") {
+			sawMalicious = true
+			break
+		}
+	}
+	if !sawMalicious {
+		t.Error("no malicious labels written")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("ZZ", 1, "x.pcap", ""); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	if err := run("F1", 1, "", ""); err == nil {
+		t.Error("missing -out should fail")
+	}
+}

@@ -1,0 +1,159 @@
+// Command pcapinfo summarizes a pcap file: link type, packet count, time
+// span, protocol mix and top talkers. With -connlog it instead emits a
+// Zeek-style conn.log of the capture's bidirectional flows.
+//
+// Usage:
+//
+//	pcapinfo capture.pcap
+//	pcapinfo -connlog capture.pcap > conn.log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"lumen/internal/flow"
+	"lumen/internal/netpkt"
+	"lumen/internal/pcap"
+)
+
+func main() {
+	connlog := flag.Bool("connlog", false, "emit a Zeek-style conn.log instead of a summary")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pcapinfo [-connlog] <file.pcap>")
+		os.Exit(2)
+	}
+	var err error
+	if *connlog {
+		err = runConnlog(flag.Arg(0))
+	} else {
+		err = run(flag.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcapinfo:", err)
+		os.Exit(1)
+	}
+}
+
+// runConnlog assembles connections and prints them as conn.log TSV.
+func runConnlog(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := pcap.NewReader(f)
+	if err != nil {
+		return err
+	}
+	pkts, err := r.ReadAll()
+	if err != nil {
+		return err
+	}
+	conns := flow.Connections(pkts, flow.Options{})
+	return flow.WriteConnLog(os.Stdout, conns)
+}
+
+func run(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := pcap.NewReader(f)
+	if err != nil {
+		return err
+	}
+	pkts, err := r.ReadAll()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("file:      %s\n", path)
+	fmt.Printf("link type: %d\n", r.LinkType())
+	fmt.Printf("packets:   %d\n", len(pkts))
+	if len(pkts) == 0 {
+		return nil
+	}
+	var first, last time.Time
+	var bytes int
+	protos := map[string]int{}
+	talkers := map[string]int{}
+	for i, p := range pkts {
+		if i == 0 {
+			first = p.Ts
+		}
+		last = p.Ts
+		bytes += p.WireLen()
+		protos[protoName(p)]++
+		if ip := p.SrcIP(); ip.IsValid() {
+			talkers[ip.String()]++
+		} else if p.Dot11 != nil {
+			talkers[p.Dot11.Addr2.String()]++
+		}
+	}
+	dur := last.Sub(first)
+	fmt.Printf("span:      %s (%s .. %s)\n", dur, first.Format(time.RFC3339), last.Format(time.RFC3339))
+	fmt.Printf("bytes:     %d", bytes)
+	if dur > 0 {
+		fmt.Printf(" (%.1f kbit/s)", float64(bytes)*8/dur.Seconds()/1000)
+	}
+	fmt.Println()
+	fmt.Println("protocols:")
+	for _, kv := range sorted(protos) {
+		fmt.Printf("  %-8s %d\n", kv.k, kv.v)
+	}
+	fmt.Println("top talkers:")
+	top := sorted(talkers)
+	if len(top) > 10 {
+		top = top[:10]
+	}
+	for _, kv := range top {
+		fmt.Printf("  %-22s %d\n", kv.k, kv.v)
+	}
+	return nil
+}
+
+func protoName(p *netpkt.Packet) string {
+	switch {
+	case p.Dot11 != nil:
+		if p.Dot11.Subtype.IsManagement() {
+			return "802.11m"
+		}
+		return "802.11d"
+	case p.DNS != nil:
+		return "dns"
+	case p.TCP != nil:
+		return "tcp"
+	case p.UDP != nil:
+		return "udp"
+	case p.ICMP != nil:
+		return "icmp"
+	case p.ARP != nil:
+		return "arp"
+	default:
+		return "other"
+	}
+}
+
+type kv struct {
+	k string
+	v int
+}
+
+func sorted(m map[string]int) []kv {
+	out := make([]kv, 0, len(m))
+	for k, v := range m {
+		out = append(out, kv{k, v})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].v != out[b].v {
+			return out[a].v > out[b].v
+		}
+		return out[a].k < out[b].k
+	})
+	return out
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"lumen/internal/netpkt"
+	"lumen/internal/pcap"
+)
+
+func TestRunOnGeneratedCapture(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.pcap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := pcap.NewWriter(f, netpkt.LinkEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		p := &netpkt.Packet{
+			Ts:  time.Unix(int64(i), 0),
+			Eth: &netpkt.Ethernet{EtherType: netpkt.EtherTypeIPv4},
+			IPv4: &netpkt.IPv4{
+				TTL: 64, Protocol: netpkt.ProtoUDP,
+				Src: netip.AddrFrom4([4]byte{10, 0, 0, 1}),
+				Dst: netip.AddrFrom4([4]byte{10, 0, 0, 2}),
+			},
+			UDP: &netpkt.UDP{SrcPort: 1000, DstPort: 53},
+		}
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run("/does/not/exist.pcap"); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestProtoNameClassification(t *testing.T) {
+	cases := []struct {
+		p    *netpkt.Packet
+		want string
+	}{
+		{&netpkt.Packet{TCP: &netpkt.TCP{}}, "tcp"},
+		{&netpkt.Packet{UDP: &netpkt.UDP{}}, "udp"},
+		{&netpkt.Packet{ICMP: &netpkt.ICMP{}}, "icmp"},
+		{&netpkt.Packet{ARP: &netpkt.ARP{}}, "arp"},
+		{&netpkt.Packet{DNS: &netpkt.DNS{}, UDP: &netpkt.UDP{}}, "dns"},
+		{&netpkt.Packet{Dot11: &netpkt.Dot11{Subtype: netpkt.Dot11Beacon}}, "802.11m"},
+		{&netpkt.Packet{Dot11: &netpkt.Dot11{Subtype: netpkt.Dot11Data}}, "802.11d"},
+		{&netpkt.Packet{}, "other"},
+	}
+	for _, c := range cases {
+		if got := protoName(c.p); got != c.want {
+			t.Errorf("protoName = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+// Package lumen is a Go reproduction of "Lumen: A Framework for
+// Developing and Evaluating ML-Based IoT Network Anomaly Detection"
+// (Sharma et al., CoNEXT 2022).
+//
+// The implementation lives under internal/: the pipeline framework
+// (internal/core), the ML library (internal/mlkit), packet and flow
+// substrates (internal/netpkt, internal/pcap, internal/flow,
+// internal/features), the synthetic benchmark corpora (internal/dataset),
+// the 16 ported algorithms (internal/algorithms) and the benchmarking
+// suite (internal/benchsuite). Executables are under cmd/ and runnable
+// examples under examples/. The root-level bench_test.go regenerates
+// every table and figure of the paper's evaluation as Go benchmarks.
+package lumen

@@ -1,0 +1,3 @@
+module lumen
+
+go 1.22

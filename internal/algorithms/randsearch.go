@@ -1,0 +1,123 @@
+package algorithms
+
+import (
+	"fmt"
+	"sort"
+
+	"lumen/internal/core"
+	"lumen/internal/mlkit"
+)
+
+// RandomSynthOptions configures SynthesizeRandom.
+type RandomSynthOptions struct {
+	// Budget is the total number of candidate evaluations; 0 means 24.
+	Budget int
+	// Seed drives candidate sampling.
+	Seed int64
+	// Models to consider; nil means SynthModels().
+	Models []string
+}
+
+// SynthesizeRandom is the paper's §6 "black-box optimization" direction:
+// instead of the greedy neighbourhood walk of Synthesize, it samples
+// random pipeline configurations (feature-module subsets × model ×
+// preprocessing) and refines with successive halving — evaluate every
+// candidate on a cheap proxy first (the caller's eval already embodies
+// the benchmark), keep the top half, re-evaluate survivors, and return
+// the overall best. With a noisy eval the second pass double-checks the
+// leaders, which is the practical benefit over pure random search.
+func SynthesizeRandom(eval func(p *core.Pipeline) float64, opts RandomSynthOptions) (*core.Pipeline, float64, error) {
+	budget := opts.Budget
+	if budget <= 0 {
+		budget = 24
+	}
+	models := opts.Models
+	if models == nil {
+		models = SynthModels()
+	}
+	groups := FeatureGroups()
+	groupNames := make([]string, 0, len(groups))
+	for g := range groups {
+		groupNames = append(groupNames, g)
+	}
+	sort.Strings(groupNames)
+	rng := mlkit.NewRNG(opts.Seed)
+
+	type candidate struct {
+		p     *core.Pipeline
+		score float64
+	}
+	build := func() *core.Pipeline {
+		// Sample a non-empty feature-module subset.
+		var feats []string
+		tag := ""
+		for {
+			feats = feats[:0]
+			tag = ""
+			for _, g := range groupNames {
+				if rng.Float64() < 0.5 {
+					feats = append(feats, groups[g]...)
+					tag += g[:1]
+				}
+			}
+			if len(feats) > 0 {
+				break
+			}
+		}
+		feats = dedup(feats)
+		model := models[rng.Intn(len(models))]
+		norm := []string{"zscore", "minmax"}[rng.Intn(2)]
+		dec := rng.Float64() < 0.5
+		ops := []core.OpSpec{
+			op("flow_assemble", []string{core.InputName}, "flows", map[string]any{"granularity": "connection"}),
+			op("flow_features", []string{"flows"}, "feats", map[string]any{"features": feats}),
+			op("normalize", []string{"feats"}, "norm", map[string]any{"kind": norm}),
+		}
+		x := "norm"
+		if dec {
+			ops = append(ops, op("drop_correlated", []string{"norm"}, "dec", map[string]any{"threshold": 0.97}))
+			x = "dec"
+		}
+		ops = append(ops,
+			op("model", nil, "clf", map[string]any{"model_type": model}),
+			op("train", []string{"clf", x}, "fit", nil),
+		)
+		return &core.Pipeline{
+			Name:        fmt.Sprintf("rsynth-%s-%s-%s-dc%v", tag, model, norm, dec),
+			Granularity: "connection",
+			Ops:         ops,
+		}
+	}
+
+	// Round 1: spend 2/3 of the budget on fresh samples.
+	n1 := budget * 2 / 3
+	if n1 < 2 {
+		n1 = budget
+	}
+	cands := make([]candidate, 0, n1)
+	for i := 0; i < n1; i++ {
+		p := build()
+		cands = append(cands, candidate{p, eval(p)})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].score > cands[b].score })
+
+	// Round 2 (successive halving): re-evaluate the top half with the
+	// remaining budget and average the two scores.
+	remaining := budget - n1
+	top := cands
+	if len(top) > remaining && remaining > 0 {
+		top = top[:remaining]
+	}
+	for i := range top {
+		if remaining <= 0 {
+			break
+		}
+		top[i].score = (top[i].score + eval(top[i].p)) / 2
+		remaining--
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].score > cands[b].score })
+	if len(cands) == 0 {
+		return nil, 0, fmt.Errorf("algorithms: random synthesis evaluated no candidates")
+	}
+	return cands[0].p, cands[0].score, nil
+}

@@ -1,0 +1,56 @@
+package algorithms
+
+import (
+	"strings"
+	"testing"
+
+	"lumen/internal/core"
+)
+
+func TestSynthesizeRandomReturnsValidPipeline(t *testing.T) {
+	calls := 0
+	// Deterministic fake eval: prefer decision trees, then more feature
+	// modules (count the tag letters in the name).
+	eval := func(p *core.Pipeline) float64 {
+		calls++
+		score := 0.0
+		if strings.Contains(p.Name, "decision_tree") {
+			score += 0.5
+		}
+		tag := strings.SplitN(strings.TrimPrefix(p.Name, "rsynth-"), "-", 2)[0]
+		score += float64(len(tag)) * 0.1
+		return score
+	}
+	best, score, err := SynthesizeRandom(eval, RandomSynthOptions{Budget: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls < 13 { // 2/3 of budget at minimum
+		t.Errorf("eval called %d times, want >= 13", calls)
+	}
+	if score <= 0 {
+		t.Errorf("score = %v", score)
+	}
+	if err := core.NewEngine(best).Check(); err != nil {
+		t.Errorf("winner does not type-check: %v", err)
+	}
+	// With this eval the winner should at least be a decision tree.
+	if !strings.Contains(best.Name, "decision_tree") {
+		t.Errorf("winner %q, want a decision_tree candidate", best.Name)
+	}
+}
+
+func TestSynthesizeRandomDeterministic(t *testing.T) {
+	eval := func(p *core.Pipeline) float64 { return float64(len(p.Name)) }
+	a, _, err := SynthesizeRandom(eval, RandomSynthOptions{Budget: 10, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := SynthesizeRandom(eval, RandomSynthOptions{Budget: 10, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != b.Name {
+		t.Errorf("same seed produced different winners: %q vs %q", a.Name, b.Name)
+	}
+}

@@ -1,0 +1,147 @@
+package algorithms
+
+import (
+	"fmt"
+	"sort"
+
+	"lumen/internal/core"
+)
+
+// FeatureGroups names the per-flow feature modules contributed by the
+// ported algorithms — the building blocks the synthesis search combines
+// (paper §5.4: "mixing features from existing algorithms").
+func FeatureGroups() map[string][]string {
+	return map[string][]string{
+		"zeek":     zeekFeatures,
+		"smartdet": smartdetFeatures,
+		"iiot":     iiotFeatures,
+		"firstn":   firstNFeatures,
+	}
+}
+
+// SynthModels lists the supervised model types the search considers, with
+// the preprocessing that typically helps each.
+func SynthModels() []string {
+	return []string{"random_forest", "decision_tree", "gaussian_nb", "automl", "ensemble_nb_dt_rf_dnn"}
+}
+
+// SynthOptions bounds the greedy search.
+type SynthOptions struct {
+	// MaxRounds of greedy improvement; 0 means 4.
+	MaxRounds int
+	// Models to consider; nil means SynthModels().
+	Models []string
+}
+
+// Synthesize runs the paper's greedy brute-force search over feature
+// modules × models × preprocessing. eval scores a candidate pipeline
+// (higher is better — the benchmark suite supplies mean precision over
+// its datasets). It returns the best pipeline found and its score.
+func Synthesize(eval func(p *core.Pipeline) float64, opts SynthOptions) (*core.Pipeline, float64, error) {
+	rounds := opts.MaxRounds
+	if rounds == 0 {
+		rounds = 4
+	}
+	models := opts.Models
+	if models == nil {
+		models = SynthModels()
+	}
+	groups := FeatureGroups()
+	groupNames := make([]string, 0, len(groups))
+	for g := range groups {
+		groupNames = append(groupNames, g)
+	}
+	sort.Strings(groupNames)
+
+	build := func(sel map[string]bool, model string, decorrelate bool) *core.Pipeline {
+		var feats []string
+		var tag string
+		for _, g := range groupNames {
+			if sel[g] {
+				feats = append(feats, groups[g]...)
+				tag += g[:1]
+			}
+		}
+		feats = dedup(feats)
+		ops := []core.OpSpec{
+			op("flow_assemble", []string{core.InputName}, "flows", map[string]any{"granularity": "connection"}),
+			op("flow_features", []string{"flows"}, "feats", map[string]any{"features": feats}),
+			op("normalize", []string{"feats"}, "norm", map[string]any{"kind": "zscore"}),
+		}
+		x := "norm"
+		if decorrelate {
+			ops = append(ops, op("drop_correlated", []string{"norm"}, "dec", map[string]any{"threshold": 0.97}))
+			x = "dec"
+		}
+		ops = append(ops,
+			op("model", nil, "clf", map[string]any{"model_type": model}),
+			op("train", []string{"clf", x}, "fit", nil),
+		)
+		return &core.Pipeline{
+			Name:        fmt.Sprintf("synth-%s-%s-dc%v", tag, model, decorrelate),
+			Granularity: "connection",
+			Ops:         ops,
+		}
+	}
+
+	// Seed: best single feature group with the first model.
+	bestSel := map[string]bool{}
+	bestModel := models[0]
+	bestDec := false
+	bestScore := -1.0
+	for _, g := range groupNames {
+		sel := map[string]bool{g: true}
+		p := build(sel, bestModel, false)
+		if s := eval(p); s > bestScore {
+			bestScore = s
+			bestSel = sel
+		}
+	}
+	if bestScore < 0 {
+		return nil, 0, fmt.Errorf("algorithms: synthesis found no viable seed")
+	}
+
+	// Greedy rounds: try adding a group, switching model, toggling
+	// decorrelation — accept the single best improvement each round.
+	for r := 0; r < rounds; r++ {
+		improved := false
+		type cand struct {
+			sel   map[string]bool
+			model string
+			dec   bool
+		}
+		var cands []cand
+		for _, g := range groupNames {
+			if !bestSel[g] {
+				sel := cloneSet(bestSel)
+				sel[g] = true
+				cands = append(cands, cand{sel, bestModel, bestDec})
+			}
+		}
+		for _, m := range models {
+			if m != bestModel {
+				cands = append(cands, cand{cloneSet(bestSel), m, bestDec})
+			}
+		}
+		cands = append(cands, cand{cloneSet(bestSel), bestModel, !bestDec})
+		for _, c := range cands {
+			p := build(c.sel, c.model, c.dec)
+			if s := eval(p); s > bestScore+1e-9 {
+				bestScore, bestSel, bestModel, bestDec = s, c.sel, c.model, c.dec
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return build(bestSel, bestModel, bestDec), bestScore, nil
+}
+
+func cloneSet(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+package benchsuite
+
+import (
+	"fmt"
+	"sort"
+
+	"lumen/internal/algorithms"
+	"lumen/internal/core"
+	"lumen/internal/dataset"
+	"lumen/internal/mlkit"
+	"lumen/internal/report"
+)
+
+// Fig5 builds the per-attack precision heatmap: cell (algorithm Y,
+// attack X) is the mean precision of Y over the same-dataset runs on the
+// datasets that contain X; gray (NaN) when no faithful dataset contains
+// the attack. Requires RunSameDataset results in the store.
+func (s *Suite) Fig5() *report.Heatmap {
+	attacks := s.sortedAttacks()
+	var rows []string
+	for _, a := range s.algs {
+		rows = append(rows, a.ID)
+	}
+	h := report.NewHeatmap("Fig 5: per-attack precision (same-dataset runs)", rows, attacks)
+	for _, alg := range s.algs {
+		runs := s.Store.Filter(func(r RunResult) bool {
+			return r.Alg == alg.ID && r.Same() && r.OK()
+		})
+		for _, atk := range attacks {
+			var sum float64
+			var n int
+			for _, r := range runs {
+				if sc, ok := r.PerAttack[atk]; ok && sc.N > 0 {
+					sum += sc.Precision
+					n++
+				}
+			}
+			if n > 0 {
+				h.Set(alg.ID, atk, sum/float64(n))
+			}
+		}
+	}
+	return h
+}
+
+// Fig7Row is one algorithm's distance-from-best distribution.
+type Fig7Row struct {
+	Alg         string
+	Granularity string
+	PrecDiff    report.Dist
+	RecDiff     report.Dist
+}
+
+// Fig7 computes, for every algorithm, the distribution of differences
+// between the best precision/recall achieved by any algorithm on each
+// (train, test) pair and this algorithm's score on the same pair. An
+// always-zero row would be a universally optimal algorithm; the paper's
+// Observation 1 is that none exists.
+func (s *Suite) Fig7() []Fig7Row {
+	best := s.Store.BestPerPair()
+	var rows []Fig7Row
+	for _, alg := range s.algs {
+		row := Fig7Row{Alg: alg.ID, Granularity: alg.Granularity().String()}
+		for _, r := range s.Store.Results {
+			if r.Alg != alg.ID || !r.OK() {
+				continue
+			}
+			b := best[[2]string{r.TrainDS, r.TestDS}]
+			row.PrecDiff.Values = append(row.PrecDiff.Values, b[0]-r.Precision)
+			row.RecDiff.Values = append(row.RecDiff.Values, b[1]-r.Recall)
+		}
+		row.PrecDiff.Name = alg.ID
+		row.RecDiff.Name = alg.ID
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Fig8 returns per-algorithm precision and recall distributions over
+// same-dataset runs (also the data behind Fig. 1b).
+func (s *Suite) Fig8() (prec, rec []report.Dist) {
+	return s.distributions(func(r RunResult) bool { return r.Same() })
+}
+
+// Fig9 returns the distributions over cross-dataset runs (also Fig. 1c).
+func (s *Suite) Fig9() (prec, rec []report.Dist) {
+	return s.distributions(func(r RunResult) bool { return !r.Same() })
+}
+
+func (s *Suite) distributions(keep func(RunResult) bool) (prec, rec []report.Dist) {
+	for _, alg := range s.algs {
+		p := report.Dist{Name: alg.ID}
+		q := report.Dist{Name: alg.ID}
+		for _, r := range s.Store.Results {
+			if r.Alg == alg.ID && r.OK() && keep(r) {
+				p.Values = append(p.Values, r.Precision)
+				q.Values = append(q.Values, r.Recall)
+			}
+		}
+		prec = append(prec, p)
+		rec = append(rec, q)
+	}
+	return prec, rec
+}
+
+// Fig10 builds the train×test median matrices: cell (train D1, test D2)
+// is the median precision (and recall) across algorithms — Observation 3's
+// asymmetric matrix with the hard-to-reach Torii dataset F5.
+func (s *Suite) Fig10() (prec, rec *report.Heatmap) {
+	ids := s.order
+	prec = report.NewHeatmap("Fig 10a: median precision (rows: test, cols: train)", ids, ids)
+	rec = report.NewHeatmap("Fig 10b: median recall (rows: test, cols: train)", ids, ids)
+	for _, tr := range ids {
+		for _, te := range ids {
+			var ps, rs []float64
+			for _, r := range s.Store.Results {
+				if r.OK() && r.TrainDS == tr && r.TestDS == te {
+					ps = append(ps, r.Precision)
+					rs = append(rs, r.Recall)
+				}
+			}
+			if len(ps) > 0 {
+				prec.Set(te, tr, mlkit.Quantile(ps, 0.5))
+				rec.Set(te, tr, mlkit.Quantile(rs, 0.5))
+			}
+		}
+	}
+	return prec, rec
+}
+
+// Obs2 counts the algorithms whose precision (or recall) drops below the
+// threshold on at least one dataset, for same- and cross-dataset runs —
+// the paper's Observation 2 ("below 20%").
+func (s *Suite) Obs2(threshold float64) (samePrecDrop, sameRecDrop, crossPrecDrop, crossRecDrop int) {
+	for _, alg := range s.algs {
+		var sp, sr, cp, cr bool
+		for _, r := range s.Store.Results {
+			if r.Alg != alg.ID || !r.OK() {
+				continue
+			}
+			if r.Same() {
+				sp = sp || r.Precision < threshold
+				sr = sr || r.Recall < threshold
+			} else {
+				cp = cp || r.Precision < threshold
+				cr = cr || r.Recall < threshold
+			}
+		}
+		if sp {
+			samePrecDrop++
+		}
+		if sr {
+			sameRecDrop++
+		}
+		if cp {
+			crossPrecDrop++
+		}
+		if cr {
+			crossRecDrop++
+		}
+	}
+	return
+}
+
+// Fig6Result holds the improvement experiments: merged-dataset training
+// for selected algorithms and the synthesized AM rows, per attack.
+type Fig6Result struct {
+	Heatmap *report.Heatmap
+	// MeanPrecision per row ID.
+	MeanPrecision map[string]float64
+}
+
+// Fig6 reruns selected connection-level algorithms (A08, A09, A13, A14 —
+// the merged-training rows of the figure) trained on the merged corpus,
+// plus the Lumen-guided AM01–AM03, and reports per-attack precision on
+// the merged test set.
+func (s *Suite) Fig6(frac float64) (*Fig6Result, error) {
+	if frac <= 0 {
+		frac = 0.10 // the paper's "10% of data from each dataset"
+	}
+	trainDS, testDS := s.MergedConnectionDataset(frac)
+	if len(trainDS.Packets) == 0 {
+		return nil, fmt.Errorf("benchsuite: no connection datasets in scope for Fig 6")
+	}
+	mergedRows := []string{"A08", "A09", "A13", "A14"}
+	var rows []algorithms.Algorithm
+	for _, id := range mergedRows {
+		if a, ok := algorithms.Get(id); ok {
+			rows = append(rows, a)
+		}
+	}
+	rows = append(rows, algorithms.Modified()...)
+
+	attacks := map[string]bool{}
+	for _, a := range testDS.Attacks {
+		if a != "" {
+			attacks[a] = true
+		}
+	}
+	var attackList []string
+	for a := range attacks {
+		attackList = append(attackList, a)
+	}
+	sort.Strings(attackList)
+
+	var rowIDs []string
+	for _, a := range rows {
+		rowIDs = append(rowIDs, a.ID)
+	}
+	h := report.NewHeatmap("Fig 6: per-attack precision with merged training + synthesized algorithms", rowIDs, attackList)
+	means := map[string]float64{}
+	for _, alg := range rows {
+		eng := core.NewEngine(alg.Pipeline)
+		eng.Seed = s.cfg.Seed + int64(hash(alg.ID+"merged"))
+		if err := eng.Train(trainDS); err != nil {
+			return nil, fmt.Errorf("fig6: %s: %w", alg.ID, err)
+		}
+		res, err := eng.Test(testDS)
+		if err != nil {
+			return nil, fmt.Errorf("fig6: %s: %w", alg.ID, err)
+		}
+		means[alg.ID] = mlkit.Precision(res.Truth, res.Pred)
+		for atk, sc := range perAttackScores(res) {
+			h.Set(alg.ID, atk, sc.Precision)
+		}
+	}
+	return &Fig6Result{Heatmap: h, MeanPrecision: means}, nil
+}
+
+// Obs5 compares the merged-training mean precision of the Fig. 6 rows
+// against the same algorithms' mean same-dataset precision from the
+// store, returning the improvement per algorithm (paper: +12–27% for
+// merging; the synthesized algorithm adds ~4% on top of the best prior).
+func (s *Suite) Obs5(fig6 *Fig6Result) map[string]float64 {
+	out := map[string]float64{}
+	byAlg := s.Store.ByAlg()
+	for id, merged := range fig6.MeanPrecision {
+		runs := byAlg[id]
+		var sum float64
+		var n int
+		for _, r := range runs {
+			if r.Same() {
+				sum += r.Precision
+				n++
+			}
+		}
+		if n > 0 {
+			out[id] = merged - sum/float64(n)
+		}
+	}
+	return out
+}
+
+// SynthesisEval returns an evaluation callback for algorithms.Synthesize:
+// mean precision over the connection datasets in scope (train half →
+// test half), the benchmarking-suite-in-the-loop search of §5.4.
+func (s *Suite) SynthesisEval() func(p *core.Pipeline) float64 {
+	var conn []*split
+	for _, id := range s.order {
+		sp := s.splits[id]
+		if sp.spec.Granularity == dataset.ConnectionG {
+			conn = append(conn, sp)
+		}
+	}
+	return func(p *core.Pipeline) float64 {
+		var sum float64
+		var n int
+		for _, sp := range conn {
+			eng := core.NewEngine(p)
+			eng.Seed = s.cfg.Seed + int64(hash(p.Name+sp.spec.ID))
+			if err := eng.Train(sp.train); err != nil {
+				continue
+			}
+			res, err := eng.Test(sp.test)
+			if err != nil {
+				continue
+			}
+			sum += mlkit.Precision(res.Truth, res.Pred)
+			n++
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+}

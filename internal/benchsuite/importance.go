@@ -1,0 +1,121 @@
+package benchsuite
+
+import (
+	"fmt"
+	"sort"
+
+	"lumen/internal/core"
+	"lumen/internal/dataset"
+	"lumen/internal/mlkit"
+	"lumen/internal/report"
+)
+
+// AttackFeature is one (attack, feature, importance) finding.
+type AttackFeature struct {
+	Attack   string
+	Features []mlkit.FeatureImportance
+}
+
+// AttackFeatureImportance implements the paper's §6 direction
+// "understanding the relevant features for each attack type": for every
+// attack present in the connection-granularity datasets in scope, it
+// trains a random forest on the benign+attack subset of the combined
+// corpus and reports the top-k flow features by permutation importance.
+func (s *Suite) AttackFeatureImportance(topK int) ([]AttackFeature, error) {
+	if topK <= 0 {
+		topK = 5
+	}
+	var parts []*dataset.Labeled
+	for _, id := range s.order {
+		sp := s.splits[id]
+		if sp.spec.Granularity == dataset.ConnectionG {
+			parts = append(parts, sp.full)
+		}
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("benchsuite: no connection datasets in scope")
+	}
+	combined := dataset.Merge("importance", 1.0, parts...)
+	fs, err := core.ExtractFlowFeatures(combined, dataset.ConnectionG, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Redundant features share importance mass and hide each other under
+	// permutation; decorrelate first so the ranking is attributable.
+	filt := &mlkit.CorrelationFilter{Threshold: 0.9}
+	if err := filt.Fit(fs.X); err != nil {
+		return nil, err
+	}
+	fs.X = filt.Transform(fs.X)
+	kept := make([]string, len(filt.Keep))
+	for i, j := range filt.Keep {
+		kept[i] = fs.Names[j]
+	}
+	fs.Names = kept
+
+	attacks := map[string]bool{}
+	for _, a := range fs.Attacks {
+		if a != "" {
+			attacks[a] = true
+		}
+	}
+	names := make([]string, 0, len(attacks))
+	for a := range attacks {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+
+	var out []AttackFeature
+	for _, atk := range names {
+		var X [][]float64
+		var y []int
+		for i := range fs.X {
+			if fs.Attacks[i] == "" || fs.Attacks[i] == atk {
+				X = append(X, fs.X[i])
+				y = append(y, fs.Y[i])
+			}
+		}
+		pos := 0
+		for _, v := range y {
+			pos += v
+		}
+		if pos < 5 || pos == len(y) {
+			continue // too few samples to rank features meaningfully
+		}
+		// A shallow single tree concentrates its decision on few features,
+		// so permutation attribution is crisp (a large forest spreads the
+		// decision over redundant alternatives and attributes ~0 to each).
+		tree := &mlkit.DecisionTree{MaxDepth: 4, Seed: s.cfg.Seed + int64(hash(atk))}
+		if err := tree.Fit(X, y); err != nil {
+			return nil, err
+		}
+		imp, err := mlkit.PermutationImportance(tree, X, y, 3, s.cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AttackFeature{Attack: atk, Features: mlkit.TopFeatures(fs.Names, imp, topK)})
+	}
+	return out, nil
+}
+
+// FeatureImportanceTable renders the per-attack findings.
+func FeatureImportanceTable(rows []AttackFeature) string {
+	t := &report.Table{Header: []string{"Attack", "TopFeatures (permutation importance)"}}
+	for _, r := range rows {
+		line := ""
+		for i, f := range r.Features {
+			if f.Importance <= 0 {
+				break
+			}
+			if i > 0 {
+				line += ", "
+			}
+			line += fmt.Sprintf("%s (%.2f)", f.Name, f.Importance)
+		}
+		if line == "" {
+			line = "(none above zero)"
+		}
+		t.Add(r.Attack, line)
+	}
+	return t.String()
+}

@@ -1,0 +1,56 @@
+package benchsuite
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAttackFeatureImportance(t *testing.T) {
+	s := fastSuite(t, []string{"A14"}, []string{"F0", "F1", "F5"})
+	rows, err := s.AttackFeatureImportance(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no attacks analyzed")
+	}
+	byAttack := map[string][]string{}
+	for _, r := range rows {
+		var names []string
+		for _, f := range r.Features {
+			if f.Importance > 0 {
+				names = append(names, f.Name)
+			}
+		}
+		byAttack[r.Attack] = names
+		if len(r.Features) > 3 {
+			t.Errorf("%s: returned %d features, want <= 3", r.Attack, len(r.Features))
+		}
+	}
+	// The Torii row must attribute to the destination port — the very
+	// mechanism behind the F5 asymmetry in Fig. 10.
+	if names, ok := byAttack["botnet-torii"]; ok {
+		found := false
+		for _, n := range names {
+			if n == "dst_port" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("torii top features = %v, want dst_port among them", names)
+		}
+	} else {
+		t.Error("botnet-torii not analyzed")
+	}
+	out := FeatureImportanceTable(rows)
+	if !strings.Contains(out, "Attack") {
+		t.Error("table missing header")
+	}
+}
+
+func TestAttackFeatureImportanceNeedsConnectionData(t *testing.T) {
+	s := fastSuite(t, []string{"A06"}, []string{"P2"})
+	if _, err := s.AttackFeatureImportance(3); err == nil {
+		t.Error("802.11-only scope should fail (no connection datasets)")
+	}
+}

@@ -1,0 +1,123 @@
+package benchsuite
+
+import (
+	"sort"
+	"strconv"
+
+	"lumen/internal/report"
+)
+
+// LitEntry is one row of the paper's Table 1: an algorithm as published,
+// with the datasets its own paper evaluated on. This metadata drives
+// Fig. 1a: two algorithms are directly comparable only when their papers
+// share at least one evaluation dataset.
+type LitEntry struct {
+	Alg      string
+	Model    string
+	Gran     string
+	Datasets []string // dataset identities as named by the original papers
+	Reported string
+}
+
+// Literature reproduces Table 1.
+func Literature() []LitEntry {
+	return []LitEntry{
+		{"ML for DDoS [18]", "Ensemble of RF, SVM, DT and KNN", "Packet", []string{"custom-ddos"}, "Precision: 99.9%"},
+		{"Efficient One-Class SVM [40]", "OCSVM and GMM", "Packet", []string{"ctu-iot", "unb-ids", "mawi"}, "AUC: 62-99%"},
+		{"Kitsune [27]", "Stacked Auto-Encoders", "Packet", []string{"kitsune-camera"}, "Precision: 99%"},
+		{"Nprint [20]", "AutoML", "Packet", []string{"cicids2017", "netml"}, "Balanced Precision: 86-99%"},
+		{"Smart Detect [24]", "Random Forest", "Unidirectional Flow", []string{"cicids2017", "cic-dos"}, "Precision: 80-96.1%"},
+		// Bhatia et al. combine publicly available benign traces (MAWI)
+		// with private attack traces (the paper's footnote 2).
+		{"Network Centric AD [15]", "Auto Encoder", "Flow: srcIP, dstIP", []string{"mawi", "custom-nokia-attacks"}, "Precision: 99%"},
+		{"Industrial IoT [41]", "Random Forest", "Connection", []string{"custom-scada"}, "Sensitivity: 97%"},
+		{"Smart Home IDS [11]", "Random Forest", "Packet", []string{"custom-smarthome"}, "Precision: 97%"},
+		{"Ensemble [30]", "NB, DT, RF and DNN", "Unidirectional Flow", []string{"unsw-nb15", "nims"}, "Precision: 98.29-99.54%"},
+		{"Bayesian Traffic Classification [28]", "Bayes Classifier", "Connection", []string{"custom-moore"}, "Precision: 96.29%"},
+		{"Zeek Logs [13]", "RF", "Connection", []string{"ctu-iot"}, "Precision: 97%"},
+	}
+}
+
+// Table1 renders the literature survey.
+func Table1() string {
+	t := &report.Table{Header: []string{"Algorithm", "ML Model", "Granularity", "Datasets", "Reported"}}
+	for _, e := range Literature() {
+		t.Add(e.Alg, e.Model, e.Gran, join(e.Datasets), e.Reported)
+	}
+	return t.String()
+}
+
+// Fig1a counts, for each published algorithm, how many other algorithms
+// share at least one evaluation dataset — the number of possible direct
+// comparisons. For half the surveyed algorithms this is zero, the
+// paper's motivating observation.
+func Fig1a() *report.Table {
+	lit := Literature()
+	counts := make([]int, len(lit))
+	for i := range lit {
+		for j := range lit {
+			if i == j {
+				continue
+			}
+			if sharesDataset(lit[i].Datasets, lit[j].Datasets) {
+				counts[i]++
+			}
+		}
+	}
+	t := &report.Table{Header: []string{"Algorithm", "PossibleComparisons"}}
+	type row struct {
+		name string
+		n    int
+	}
+	rows := make([]row, len(lit))
+	for i, e := range lit {
+		rows[i] = row{e.Alg, counts[i]}
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].n > rows[b].n })
+	for _, r := range rows {
+		t.Add(r.name, strconv.Itoa(r.n))
+	}
+	return t
+}
+
+// Fig1aZeroFraction returns the fraction of algorithms with no possible
+// direct comparison (the paper reports one half).
+func Fig1aZeroFraction() float64 {
+	lit := Literature()
+	zero := 0
+	for i := range lit {
+		any := false
+		for j := range lit {
+			if i != j && sharesDataset(lit[i].Datasets, lit[j].Datasets) {
+				any = true
+				break
+			}
+		}
+		if !any {
+			zero++
+		}
+	}
+	return float64(zero) / float64(len(lit))
+}
+
+func sharesDataset(a, b []string) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func join(xs []string) string {
+	out := ""
+	for i, x := range xs {
+		if i > 0 {
+			out += ", "
+		}
+		out += x
+	}
+	return out
+}

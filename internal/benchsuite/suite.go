@@ -1,0 +1,345 @@
+// Package benchsuite is Lumen's benchmarking suite: it runs every
+// algorithm against every dataset it can faithfully run on — same-dataset
+// and cross-dataset — stores the scores in a query-friendly store, and
+// regenerates each figure of the paper's evaluation (Figs. 1, 5–10, the
+// §5.2 validation and the §5.4 improvement experiments).
+package benchsuite
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"lumen/internal/algorithms"
+	"lumen/internal/core"
+	"lumen/internal/dataset"
+	"lumen/internal/mlkit"
+	"lumen/internal/netpkt"
+)
+
+// Config scopes a suite run ("the user can scope the comparison on a
+// subset of algorithms or datasets").
+type Config struct {
+	// Scale of the synthesized datasets; 0 means 0.6.
+	Scale float64
+	// Seed drives model seeds.
+	Seed int64
+	// AlgIDs restricts the algorithms (nil = all 16).
+	AlgIDs []string
+	// DatasetIDs restricts the datasets (nil = all 15).
+	DatasetIDs []string
+	// Workers bounds run parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// NoCache disables the shared intermediate-result cache (used by the
+	// ablation benchmarks; the paper's evaluation pipeline shares
+	// intermediates across algorithms).
+	NoCache bool
+}
+
+func (c Config) scale() float64 {
+	if c.Scale == 0 {
+		return 0.6
+	}
+	return c.Scale
+}
+
+// Suite caches generated datasets and their train/test splits, and
+// accumulates results.
+type Suite struct {
+	cfg    Config
+	algs   []algorithms.Algorithm
+	splits map[string]*split
+	order  []string // dataset IDs in registry order
+	cache  *core.Cache
+	Store  *Store
+}
+
+// split holds one dataset's train/test halves. The split interleaves
+// packets (even → train, odd → test) so both halves cover the same time
+// span and attack phases.
+type split struct {
+	spec  dataset.Spec
+	full  *dataset.Labeled
+	train *dataset.Labeled
+	test  *dataset.Labeled
+}
+
+// New builds a suite: datasets are generated eagerly (they are shared
+// across runs — the intermediate-reuse optimization the paper describes).
+func New(cfg Config) (*Suite, error) {
+	s := &Suite{cfg: cfg, splits: map[string]*split{}, Store: &Store{}}
+	if !cfg.NoCache {
+		s.cache = core.NewCache()
+	}
+	want := map[string]bool{}
+	for _, id := range cfg.DatasetIDs {
+		want[id] = true
+	}
+	for _, spec := range dataset.Registry() {
+		if len(want) > 0 && !want[spec.ID] {
+			continue
+		}
+		full := spec.Generate(cfg.scale())
+		tr, te := InterleaveSplit(full)
+		s.splits[spec.ID] = &split{spec: spec, full: full, train: tr, test: te}
+		s.order = append(s.order, spec.ID)
+	}
+	if len(s.order) == 0 {
+		return nil, fmt.Errorf("benchsuite: no datasets selected")
+	}
+	wantAlg := map[string]bool{}
+	for _, id := range cfg.AlgIDs {
+		wantAlg[id] = true
+	}
+	for _, a := range algorithms.All() {
+		if len(wantAlg) > 0 && !wantAlg[a.ID] {
+			continue
+		}
+		s.algs = append(s.algs, a)
+	}
+	if len(s.algs) == 0 {
+		return nil, fmt.Errorf("benchsuite: no algorithms selected")
+	}
+	return s, nil
+}
+
+// Algorithms returns the algorithms in scope.
+func (s *Suite) Algorithms() []algorithms.Algorithm { return s.algs }
+
+// DatasetIDs returns the datasets in scope, in registry order.
+func (s *Suite) DatasetIDs() []string { return append([]string(nil), s.order...) }
+
+// Dataset returns a generated dataset by ID (the full, unsplit trace).
+func (s *Suite) Dataset(id string) *dataset.Labeled {
+	if sp, ok := s.splits[id]; ok {
+		return sp.full
+	}
+	return nil
+}
+
+// InterleaveSplit splits a dataset into train/test halves by alternating
+// packets, preserving time order and attack coverage on both sides.
+func InterleaveSplit(ds *dataset.Labeled) (train, test *dataset.Labeled) {
+	train = &dataset.Labeled{Name: ds.Name + "/train", Granularity: ds.Granularity, Link: ds.Link}
+	test = &dataset.Labeled{Name: ds.Name + "/test", Granularity: ds.Granularity, Link: ds.Link}
+	for i := range ds.Packets {
+		dst := train
+		if i%2 == 1 {
+			dst = test
+		}
+		dst.Packets = append(dst.Packets, ds.Packets[i])
+		dst.Labels = append(dst.Labels, ds.Labels[i])
+		dst.Attacks = append(dst.Attacks, ds.Attacks[i])
+	}
+	return train, test
+}
+
+// CanRun reports whether alg can faithfully run with the given train and
+// test datasets: granularity compatibility (paper §2.1) plus the IP-layer
+// requirement that rules everything but Kitsune out on 802.11 captures.
+func CanRun(alg algorithms.Algorithm, train, test *split) bool {
+	g := alg.Granularity()
+	if !dataset.CanFaithfullyRun(g, train.spec.Granularity) ||
+		!dataset.CanFaithfullyRun(g, test.spec.Granularity) {
+		return false
+	}
+	if !alg.NoIPNeeded && (train.full.Link == netpkt.LinkDot11 || test.full.Link == netpkt.LinkDot11) {
+		return false
+	}
+	return true
+}
+
+// runOne trains alg on train packets and evaluates on test packets.
+func (s *Suite) runOne(alg algorithms.Algorithm, trainID, testID string, trainDS, testDS *dataset.Labeled) RunResult {
+	rr := RunResult{Alg: alg.ID, TrainDS: trainID, TestDS: testID, Faithful: true}
+	eng := core.NewEngine(alg.Pipeline)
+	if s.cache != nil {
+		eng.SetCache(s.cache)
+	}
+	eng.Seed = s.cfg.Seed + int64(hash(alg.ID+trainID+testID))
+	if err := eng.Train(trainDS); err != nil {
+		rr.Err = err.Error()
+		return rr
+	}
+	res, err := eng.Test(testDS)
+	if err != nil {
+		rr.Err = err.Error()
+		return rr
+	}
+	rr.NUnits = len(res.Truth)
+	rr.Precision = mlkit.Precision(res.Truth, res.Pred)
+	rr.Recall = mlkit.Recall(res.Truth, res.Pred)
+	rr.Accuracy = mlkit.Accuracy(res.Truth, res.Pred)
+	rr.F1 = mlkit.F1Score(res.Truth, res.Pred)
+	if res.Scores != nil {
+		rr.AUC = mlkit.AUC(res.Truth, res.Scores)
+	} else {
+		rr.AUC = 0.5
+	}
+	rr.PerAttack = perAttackScores(res)
+	return rr
+}
+
+// perAttackScores computes precision/recall restricted to benign units
+// plus each single attack (the Fig. 5 cell definition).
+func perAttackScores(res *core.EvalResult) map[string]Score {
+	attacks := map[string]bool{}
+	for _, a := range res.Attacks {
+		if a != "" {
+			attacks[a] = true
+		}
+	}
+	out := make(map[string]Score, len(attacks))
+	for atk := range attacks {
+		var truth, pred []int
+		for i := range res.Truth {
+			if res.Attacks[i] == "" || res.Attacks[i] == atk {
+				truth = append(truth, res.Truth[i])
+				pred = append(pred, res.Pred[i])
+			}
+		}
+		out[atk] = Score{
+			Precision: mlkit.Precision(truth, pred),
+			Recall:    mlkit.Recall(truth, pred),
+			N:         len(truth),
+		}
+	}
+	return out
+}
+
+// task describes one pending run.
+type task struct {
+	alg             algorithms.Algorithm
+	trainID, testID string
+	train, test     *dataset.Labeled
+}
+
+// runAll executes tasks on a worker pool (the Ray-style parallel
+// evaluation of the paper) and appends results to the store.
+func (s *Suite) runAll(tasks []task) {
+	workers := s.cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	results := make([]RunResult, len(tasks))
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				t := tasks[i]
+				results[i] = s.runOne(t.alg, t.trainID, t.testID, t.train, t.test)
+			}
+		}()
+	}
+	for i := range tasks {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	s.Store.Results = append(s.Store.Results, results...)
+}
+
+// RunSameDataset evaluates every algorithm on every faithful dataset
+// with train and test halves drawn from the same dataset (Figs. 1b, 8).
+func (s *Suite) RunSameDataset() {
+	var tasks []task
+	for _, alg := range s.algs {
+		for _, id := range s.order {
+			sp := s.splits[id]
+			if !CanRun(alg, sp, sp) {
+				continue
+			}
+			tasks = append(tasks, task{alg, id, id, sp.train, sp.test})
+		}
+	}
+	s.runAll(tasks)
+}
+
+// RunCrossDataset evaluates every algorithm on every ordered pair of
+// distinct faithful datasets: train on A's train half, test on B's test
+// half (Figs. 1c, 9, 10).
+func (s *Suite) RunCrossDataset() {
+	var tasks []task
+	for _, alg := range s.algs {
+		for _, trID := range s.order {
+			for _, teID := range s.order {
+				if trID == teID {
+					continue
+				}
+				trSp, teSp := s.splits[trID], s.splits[teID]
+				if !CanRun(alg, trSp, teSp) {
+					continue
+				}
+				tasks = append(tasks, task{alg, trID, teID, trSp.train, teSp.test})
+			}
+		}
+	}
+	s.runAll(tasks)
+}
+
+// RunAll runs both evaluation modes.
+func (s *Suite) RunAll() {
+	s.RunSameDataset()
+	s.RunCrossDataset()
+}
+
+// MergedConnectionDataset builds the Fig. 6 merged corpus: frac of every
+// connection-granularity dataset in scope, split into train/test halves.
+func (s *Suite) MergedConnectionDataset(frac float64) (train, test *dataset.Labeled) {
+	var trains, tests []*dataset.Labeled
+	for _, id := range s.order {
+		sp := s.splits[id]
+		if sp.spec.Granularity != dataset.ConnectionG {
+			continue
+		}
+		trains = append(trains, sp.train)
+		tests = append(tests, sp.test)
+	}
+	return dataset.Merge("merged/train", frac, trains...),
+		dataset.Merge("merged/test", frac, tests...)
+}
+
+// sortedAttacks lists the distinct attacks across datasets in scope.
+func (s *Suite) sortedAttacks() []string {
+	set := map[string]bool{}
+	for _, id := range s.order {
+		for _, a := range s.splits[id].spec.Attacks {
+			set[a] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CacheStats reports the shared cache's hits and misses (0,0 when the
+// cache is disabled).
+func (s *Suite) CacheStats() (hits, misses int) {
+	if s.cache == nil {
+		return 0, 0
+	}
+	return s.cache.Stats()
+}
+
+// hash is FNV-1a over the string, for deterministic per-run seeds.
+func hash(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// aggFrame builds a one-group frame over the given values with ts 0..n-1.
+func aggFrame(vals []float64) *Grouped {
+	f := NewFrame(len(vals))
+	ts := make([]float64, len(vals))
+	keys := make([]string, len(vals))
+	for i := range vals {
+		ts[i] = float64(i)
+		keys[i] = "g"
+	}
+	f.AddS("k", keys)
+	f.AddF("ts", ts)
+	f.AddF("v", vals)
+	g, _ := groupRows(f, []string{"k"})
+	return g
+}
+
+func aggOne(t *testing.T, g *Grouped, fn string) float64 {
+	t.Helper()
+	out, err := opApplyAggregates(nil, []Value{g}, params{
+		"list": []any{map[string]any{"col": "v", "fn": fn}},
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", fn, err)
+	}
+	return out.(*Frame).Cols[0].F[0]
+}
+
+func TestAggregateFunctions(t *testing.T) {
+	g := aggFrame([]float64{4, 1, 3, 2, 2})
+	cases := map[string]float64{
+		"mean":     2.4,
+		"median":   2,
+		"min":      1,
+		"max":      4,
+		"sum":      12,
+		"count":    5,
+		"first":    4,
+		"last":     2,
+		"distinct": 4,
+		"rate":     5.0 / 4.0, // 5 events over a 4-second span
+		"var":      1.04,
+	}
+	for fn, want := range cases {
+		if got := aggOne(t, g, fn); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", fn, got, want)
+		}
+	}
+	if got := aggOne(t, g, "std"); math.Abs(got-math.Sqrt(1.04)) > 1e-9 {
+		t.Errorf("std = %v", got)
+	}
+	// bandwidth: sum of v per second of span.
+	if got := aggOne(t, g, "bandwidth"); math.Abs(got-3) > 1e-9 {
+		t.Errorf("bandwidth = %v, want 3", got)
+	}
+	// entropy over {4,1,3,2,2}: four symbols, one repeated twice.
+	wantH := -(0.4*math.Log2(0.4) + 3*0.2*math.Log2(0.2))
+	if got := aggOne(t, g, "entropy"); math.Abs(got-wantH) > 1e-9 {
+		t.Errorf("entropy = %v, want %v", got, wantH)
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	g := aggFrame([]float64{1, 2})
+	if _, err := opApplyAggregates(nil, []Value{g}, params{
+		"list": []any{map[string]any{"col": "v", "fn": "frobnicate"}},
+	}); err == nil || !strings.Contains(err.Error(), "frobnicate") {
+		t.Errorf("unknown fn error = %v", err)
+	}
+	if _, err := opApplyAggregates(nil, []Value{g}, params{
+		"list": []any{map[string]any{"col": "missing", "fn": "mean"}},
+	}); err == nil {
+		t.Error("missing column should error")
+	}
+	if _, err := opApplyAggregates(nil, []Value{g}, params{}); err == nil {
+		t.Error("missing list should error")
+	}
+	if _, err := opApplyAggregates(nil, []Value{g}, params{
+		"list": []any{map[string]any{"col": "v"}},
+	}); err == nil {
+		t.Error("entry without fn should error")
+	}
+	// String-column aggregate restrictions.
+	if _, err := opApplyAggregates(nil, []Value{g}, params{
+		"list": []any{map[string]any{"col": "k", "fn": "mean"}},
+	}); err == nil {
+		t.Error("mean over a string column should error")
+	}
+}
+
+func TestStringAggregates(t *testing.T) {
+	f := NewFrame(4)
+	f.AddS("k", []string{"g", "g", "g", "g"})
+	f.AddS("s", []string{"a", "b", "a", "c"})
+	g, _ := groupRows(f, []string{"k"})
+	out, err := opApplyAggregates(nil, []Value{g}, params{
+		"list": []any{
+			map[string]any{"col": "s", "fn": "distinct"},
+			map[string]any{"col": "s", "fn": "count"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	af := out.(*Frame)
+	if af.Col("s_distinct").F[0] != 3 || af.Col("s_count").F[0] != 4 {
+		t.Errorf("string aggregates = %v/%v", af.Col("s_distinct").F[0], af.Col("s_count").F[0])
+	}
+}
+
+func TestRateWithoutTsErrors(t *testing.T) {
+	f := NewFrame(2)
+	f.AddS("k", []string{"g", "g"})
+	f.AddF("v", []float64{1, 2})
+	g, _ := groupRows(f, []string{"k"})
+	if _, err := opApplyAggregates(nil, []Value{g}, params{
+		"list": []any{map[string]any{"col": "v", "fn": "rate"}},
+	}); err == nil {
+		t.Error("rate without ts column should error")
+	}
+}
+
+func TestFilterStringAndNumericPaths(t *testing.T) {
+	f := NewFrame(4)
+	f.AddF("v", []float64{1, 5, 10, 3})
+	f.AddS("s", []string{"a", "b", "a", "c"})
+	out, err := opFilter(nil, []Value{f}, params{"col": "v", "op": ">=", "value": 5.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.(*Frame).N != 2 {
+		t.Errorf("numeric filter kept %d rows, want 2", out.(*Frame).N)
+	}
+	out2, err := opFilter(nil, []Value{f}, params{"col": "s", "op": "==", "value": "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.(*Frame).N != 2 {
+		t.Errorf("string filter kept %d rows, want 2", out2.(*Frame).N)
+	}
+	if _, err := opFilter(nil, []Value{f}, params{"col": "s", "op": ">", "value": "a"}); err == nil {
+		t.Error("ordered comparison on string column should error")
+	}
+	if _, err := opFilter(nil, []Value{f}, params{"col": "nope"}); err == nil {
+		t.Error("missing column should error")
+	}
+}
+
+func TestConcatColsMismatch(t *testing.T) {
+	a := NewFrame(2)
+	a.AddF("x", []float64{1, 2})
+	b := NewFrame(3)
+	b.AddF("y", []float64{1, 2, 3})
+	if _, err := opConcatCols(nil, []Value{a, b}, nil); err == nil {
+		t.Error("row-count mismatch should error")
+	}
+	c := NewFrame(2)
+	c.AddF("x", []float64{9, 9}) // duplicate name
+	out, err := opConcatCols(nil, []Value{a, c}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := out.(*Frame).Names()
+	if names[0] == names[1] {
+		t.Errorf("duplicate names not disambiguated: %v", names)
+	}
+}
+
+func TestUniflowPipelineEndToEnd(t *testing.T) {
+	p := &Pipeline{
+		Name:        "uniflow-rf",
+		Granularity: "uniflow",
+		Ops: []OpSpec{
+			{Func: "flow_assemble", Input: []string{InputName}, Output: "fl", Params: map[string]any{"granularity": "uniflow"}},
+			{Func: "flow_features", Input: []string{"fl"}, Output: "X", Params: map[string]any{
+				"features": []string{"duration", "pkt_count", "mean_len", "pps", "dst_port", "syn_count"},
+			}},
+			{Func: "model", Output: "m", Params: map[string]any{"model_type": "decision_tree"}},
+			{Func: "train", Input: []string{"m", "X"}, Output: "t"},
+		},
+	}
+	eng := NewEngine(p)
+	ds := smallDS(t, "F1")
+	if err := eng.Train(ds); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Test(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unit != UnitFlow || len(res.Pred) == 0 {
+		t.Fatalf("uniflow eval: unit=%v n=%d", res.Unit, len(res.Pred))
+	}
+}
+
+func TestEngineProfileRecordsAllocs(t *testing.T) {
+	p, _ := ParsePipeline([]byte(fig4Template))
+	eng := NewEngine(p)
+	if err := eng.Train(smallDS(t, "P0")); err != nil {
+		t.Fatal(err)
+	}
+	var anyAllocs bool
+	for _, st := range eng.Profile {
+		if st.Allocs > 0 {
+			anyAllocs = true
+		}
+	}
+	if !anyAllocs {
+		t.Error("profile recorded zero allocations for every op")
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Cache shares the results of stateless operations across engines — the
+// paper's "we construct the evaluation pipeline such that intermediate
+// results are shared across algorithms". When the benchmarking suite
+// evaluates many algorithms on the same datasets, flow assembly and
+// feature extraction run once per (op, params, input) instead of once
+// per run.
+//
+// Only stateless, mode-independent ops participate (field extraction,
+// flow assembly, feature computation, grouping, aggregation...); anything
+// fitted on training data (scalers, filters, models) never does. Cache
+// keys combine the op name, its canonical parameter encoding, and the
+// identity of its input values, so two pipelines reusing the same
+// upstream results hit the same entries.
+type Cache struct {
+	mu sync.Mutex
+	m  map[string]Value
+
+	hits, misses int
+}
+
+// NewCache returns an empty shared cache.
+func NewCache() *Cache { return &Cache{m: make(map[string]Value)} }
+
+// Stats reports cache hits and misses so far.
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len reports the number of cached values.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+func (c *Cache) get(key string) (Value, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return v, ok
+}
+
+func (c *Cache) put(key string, v Value) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = v
+}
+
+// cacheKey builds the identity of one op invocation, or ok=false when
+// any input has no stable identity.
+func cacheKey(op OpSpec, in []Value) (string, bool) {
+	params, err := json.Marshal(op.Params)
+	if err != nil {
+		return "", false
+	}
+	key := op.Func + "|" + string(params)
+	for _, v := range in {
+		id, ok := valueID(v)
+		if !ok {
+			return "", false
+		}
+		key += "|" + id
+	}
+	return key, true
+}
+
+// valueID returns a stable identity for a pipeline value: the address of
+// its backing object. Model specs and trained models are excluded — ops
+// consuming them are never cacheable anyway.
+func valueID(v Value) (string, bool) {
+	switch x := v.(type) {
+	case Packets:
+		return fmt.Sprintf("pk:%p", x.DS), true
+	case *Frame:
+		return fmt.Sprintf("fr:%p", x), true
+	case *Grouped:
+		return fmt.Sprintf("gr:%p", x), true
+	case *Flows:
+		return fmt.Sprintf("fl:%p", x), true
+	default:
+		return "", false
+	}
+}

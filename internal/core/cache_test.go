@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"lumen/internal/mlkit"
+)
+
+func TestCacheHitsAcrossEngines(t *testing.T) {
+	ds := smallDS(t, "F1")
+	p := &Pipeline{
+		Name:        "cached",
+		Granularity: "connection",
+		Ops: []OpSpec{
+			{Func: "flow_assemble", Input: []string{InputName}, Output: "fl", Params: map[string]any{"granularity": "connection"}},
+			{Func: "flow_features", Input: []string{"fl"}, Output: "X"},
+			{Func: "model", Output: "m", Params: map[string]any{"model_type": "decision_tree"}},
+			{Func: "train", Input: []string{"m", "X"}, Output: "t"},
+		},
+	}
+	cache := NewCache()
+
+	// First engine: all misses.
+	e1 := NewEngine(p)
+	e1.SetCache(cache)
+	if err := e1.Train(ds); err != nil {
+		t.Fatal(err)
+	}
+	h, m := cache.Stats()
+	if h != 0 || m == 0 {
+		t.Fatalf("first run: hits=%d misses=%d, want 0 hits", h, m)
+	}
+
+	// Second engine, same dataset: flow ops must be served from cache.
+	e2 := NewEngine(p)
+	e2.SetCache(cache)
+	if err := e2.Train(ds); err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := cache.Stats()
+	if h2 < 2 { // flow_assemble + flow_features
+		t.Fatalf("second run hits = %d, want >= 2", h2)
+	}
+	cachedOps := 0
+	for _, st := range e2.Profile {
+		if st.Cached {
+			cachedOps++
+		}
+	}
+	if cachedOps != 2 {
+		t.Errorf("profile shows %d cached ops, want 2", cachedOps)
+	}
+
+	// Results identical with and without cache.
+	e3 := NewEngine(p) // no cache
+	e3.Seed = e2.Seed
+	if err := e3.Train(ds); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e2.Test(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := e3.Test(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mlkit.Precision(r2.Truth, r2.Pred) != mlkit.Precision(r3.Truth, r3.Pred) {
+		t.Error("cache changed results")
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	ds := smallDS(t, "F1")
+	in := []Value{Packets{DS: ds}}
+	opA := OpSpec{Func: "flow_assemble", Params: map[string]any{"granularity": "connection"}}
+	opB := OpSpec{Func: "flow_assemble", Params: map[string]any{"granularity": "uniflow"}}
+	ka, ok := cacheKey(opA, in)
+	if !ok {
+		t.Fatal("no key for packets input")
+	}
+	kb, _ := cacheKey(opB, in)
+	if ka == kb {
+		t.Error("different params must produce different keys")
+	}
+	ds2 := smallDS(t, "F4")
+	kc, _ := cacheKey(opA, []Value{Packets{DS: ds2}})
+	if ka == kc {
+		t.Error("different datasets must produce different keys")
+	}
+	// Model inputs have no identity -> not cacheable.
+	if _, ok := cacheKey(OpSpec{Func: "train"}, []Value{ModelSpec{Type: "x"}}); ok {
+		t.Error("model inputs must not be cacheable")
+	}
+}
+
+func TestCacheDisabledByDefault(t *testing.T) {
+	ds := smallDS(t, "F1")
+	p, _ := ParsePipeline([]byte(fig4Template))
+	e := NewEngine(p)
+	if err := e.Train(ds); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range e.Profile {
+		if st.Cached {
+			t.Fatal("no cache attached, nothing may be marked cached")
+		}
+	}
+}

@@ -1,0 +1,540 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"lumen/internal/dataset"
+	"lumen/internal/mlkit"
+)
+
+func smallDS(t *testing.T, id string) *dataset.Labeled {
+	t.Helper()
+	spec, ok := dataset.Get(id)
+	if !ok {
+		t.Fatalf("no dataset %s", id)
+	}
+	return spec.Generate(0.15)
+}
+
+func TestFrameBasics(t *testing.T) {
+	f := NewFrame(3)
+	f.AddF("a", []float64{1, 2, 3})
+	f.AddS("s", []string{"x", "y", "x"})
+	if c := f.Col("a"); c == nil || !c.IsNumeric() {
+		t.Fatal("column a missing or not numeric")
+	}
+	if c := f.Col("nope"); c != nil {
+		t.Fatal("unknown column should be nil")
+	}
+	m := f.Matrix()
+	if len(m) != 3 || len(m[0]) != 1 || m[2][0] != 3 {
+		t.Fatalf("matrix = %v", m)
+	}
+	sel, err := f.Select([]string{"s"})
+	if err != nil || len(sel.Cols) != 1 {
+		t.Fatalf("select: %v / %d cols", err, len(sel.Cols))
+	}
+	if _, err := f.Select([]string{"missing"}); err == nil {
+		t.Fatal("select of missing column should error")
+	}
+}
+
+func TestFrameAddFPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on length mismatch")
+		}
+	}()
+	f := NewFrame(2)
+	f.AddF("a", []float64{1})
+}
+
+func TestFrameFilterAndTakeRows(t *testing.T) {
+	f := NewFrame(4)
+	f.AddF("v", []float64{10, 20, 30, 40})
+	f.Labels = []int{0, 1, 0, 1}
+	f.Attacks = []string{"", "x", "", "y"}
+	f.UnitIdx = []int{0, 1, 2, 3}
+	out := f.FilterRows([]bool{false, true, false, true})
+	if out.N != 2 || out.Col("v").F[0] != 20 || out.Labels[1] != 1 || out.Attacks[1] != "y" {
+		t.Fatalf("filter result wrong: %+v", out)
+	}
+}
+
+func TestOpsRegistryCoverage(t *testing.T) {
+	ops := Ops()
+	if len(ops) < 15 {
+		t.Fatalf("only %d ops registered; the framework should offer a rich op set", len(ops))
+	}
+	for _, name := range ops {
+		if OpDoc(name) == "" {
+			t.Errorf("op %q has no doc", name)
+		}
+	}
+}
+
+func TestFieldExtractValues(t *testing.T) {
+	ds := smallDS(t, "F1")
+	fr, err := opFieldExtract(nil, []Value{Packets{ds}}, params{
+		"fields": []any{"ts", "len", "src_ip", "dst_port", "tcp_syn"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fr.(*Frame)
+	if f.N != len(ds.Packets) {
+		t.Fatalf("rows %d != packets %d", f.N, len(ds.Packets))
+	}
+	if f.Col("src_ip") == nil || f.Col("src_ip").IsNumeric() {
+		t.Fatal("src_ip should be a string column")
+	}
+	// ts must be non-decreasing, len positive.
+	tsCol, lenCol := f.Col("ts").F, f.Col("len").F
+	for i := range tsCol {
+		if i > 0 && tsCol[i] < tsCol[i-1] {
+			t.Fatalf("ts not sorted at %d", i)
+		}
+		if lenCol[i] <= 0 {
+			t.Fatalf("len[%d] = %v", i, lenCol[i])
+		}
+	}
+	if f.Labels == nil || len(f.Labels) != f.N {
+		t.Fatal("labels not propagated to frame")
+	}
+}
+
+func TestFieldExtractUnknownField(t *testing.T) {
+	ds := smallDS(t, "F1")
+	_, err := opFieldExtract(nil, []Value{Packets{ds}}, params{"fields": []any{"bogus"}})
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("want unknown-field error, got %v", err)
+	}
+}
+
+func TestGroupByAndAggregates(t *testing.T) {
+	f := NewFrame(6)
+	f.AddS("key", []string{"a", "a", "b", "b", "b", "a"})
+	f.AddF("ts", []float64{0, 1, 2, 3, 4, 5})
+	f.AddF("v", []float64{1, 3, 10, 10, 40, 2})
+	f.Labels = []int{0, 0, 1, 1, 1, 0}
+	f.Attacks = []string{"", "", "syn", "syn", "syn", ""}
+	g, err := groupRows(f, []string{"key"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(g.Groups))
+	}
+	out, err := opApplyAggregates(nil, []Value{g}, params{
+		"list": []any{
+			map[string]any{"col": "v", "fn": "mean"},
+			map[string]any{"col": "v", "fn": "max"},
+			map[string]any{"col": "v", "fn": "count"},
+			map[string]any{"col": "v", "fn": "distinct"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	af := out.(*Frame)
+	if af.N != 2 {
+		t.Fatalf("agg rows = %d, want 2", af.N)
+	}
+	// Group a = rows {0,1,5}: mean 2, max 3, count 3, distinct 3.
+	if got := af.Col("v_mean").F[0]; got != 2 {
+		t.Errorf("mean = %v, want 2", got)
+	}
+	if got := af.Col("v_max").F[0]; got != 3 {
+		t.Errorf("max = %v, want 3", got)
+	}
+	if got := af.Col("v_count").F[0]; got != 3 {
+		t.Errorf("count = %v, want 3", got)
+	}
+	// Group b = rows {2,3,4}: label 1 (majority), attack syn.
+	if af.Labels[1] != 1 || af.Attacks[1] != "syn" {
+		t.Errorf("group label/attack = %d/%q, want 1/syn", af.Labels[1], af.Attacks[1])
+	}
+}
+
+func TestTimeSliceSplitsGroups(t *testing.T) {
+	f := NewFrame(4)
+	f.AddS("key", []string{"a", "a", "a", "a"})
+	f.AddF("ts", []float64{0, 1, 11, 12})
+	g, _ := groupRows(f, []string{"key"})
+	out, err := opTimeSlice(nil, []Value{g}, params{"window": 10.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := out.(*Grouped)
+	if len(g2.Groups) != 2 {
+		t.Fatalf("time slices = %d, want 2", len(g2.Groups))
+	}
+	if len(g2.Groups[0]) != 2 || len(g2.Groups[1]) != 2 {
+		t.Fatalf("slice sizes = %d/%d, want 2/2", len(g2.Groups[0]), len(g2.Groups[1]))
+	}
+}
+
+func TestBroadcastAggregatesKeepsRowUnit(t *testing.T) {
+	f := NewFrame(4)
+	f.Unit = UnitPacket
+	f.UnitIdx = []int{0, 1, 2, 3}
+	f.AddS("key", []string{"a", "b", "a", "b"})
+	f.AddF("ts", []float64{0, 1, 2, 3})
+	f.AddF("v", []float64{2, 10, 4, 20})
+	g, _ := groupRows(f, []string{"key"})
+	out, err := opBroadcastAggregates(nil, []Value{g}, params{
+		"list": []any{map[string]any{"col": "v", "fn": "mean"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf := out.(*Frame)
+	if bf.N != 4 || bf.Unit != UnitPacket {
+		t.Fatalf("broadcast changed row unit: N=%d unit=%v", bf.N, bf.Unit)
+	}
+	col := bf.Col("grp_v_mean").F
+	want := []float64{3, 15, 3, 15}
+	for i := range want {
+		if col[i] != want[i] {
+			t.Errorf("row %d group mean = %v, want %v", i, col[i], want[i])
+		}
+	}
+}
+
+func TestNormalizeStatefulAcrossModes(t *testing.T) {
+	train := NewFrame(3)
+	train.AddF("v", []float64{0, 5, 10})
+	test := NewFrame(2)
+	test.AddF("v", []float64{5, 20})
+
+	ctx := &opCtx{mode: ModeTrain, outName: "n", state: map[string]any{}}
+	if _, err := opNormalize(ctx, []Value{train}, params{"kind": "minmax"}); err != nil {
+		t.Fatal(err)
+	}
+	ctx2 := &opCtx{mode: ModeTest, outName: "n", state: ctx.state}
+	out, err := opNormalize(ctx2, []Value{test}, params{"kind": "minmax"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(*Frame).Col("v").F
+	if got[0] != 0.5 || got[1] != 1 { // 20 clamps to 1 using train range
+		t.Fatalf("normalized = %v, want [0.5 1]", got)
+	}
+}
+
+func TestNormalizeTestBeforeTrainErrors(t *testing.T) {
+	f := NewFrame(1)
+	f.AddF("v", []float64{1})
+	ctx := &opCtx{mode: ModeTest, outName: "n", state: map[string]any{}}
+	if _, err := opNormalize(ctx, []Value{f}, params{}); err == nil {
+		t.Fatal("want not-fitted error")
+	}
+}
+
+const fig4Template = `{
+  "name": "fig4-example",
+  "granularity": "packet",
+  "ops": [
+    {"func": "field_extract", "input": ["$packets"], "output": "Packets",
+     "params": {"fields": ["ts", "src_ip", "dst_ip", "tcp_flags", "len", "dst_port", "proto", "iat"]}},
+    {"func": "group_by", "input": ["Packets"], "output": "Grouped_packets",
+     "params": {"flowid": ["src_ip"]}},
+    {"func": "time_slice", "input": ["Grouped_packets"], "output": "Sliced_packets",
+     "params": {"window": 10}},
+    {"func": "broadcast_aggregates", "input": ["Sliced_packets"], "output": "Features",
+     "params": {"list": [
+        {"col": "len", "fn": "mean"},
+        {"col": "len", "fn": "bandwidth"},
+        {"col": "iat", "fn": "mean"},
+        {"col": "dst_ip", "fn": "distinct"}
+     ]}},
+    {"func": "select", "input": ["Features"], "output": "X",
+     "params": {"cols": ["len", "tcp_flags", "dst_port", "proto", "grp_len_mean", "grp_len_bandwidth", "grp_iat_mean", "grp_dst_ip_distinct"]}},
+    {"func": "model", "input": [], "output": "clf1",
+     "params": {"model_type": "random_forest", "n_trees": 15}},
+    {"func": "train", "input": ["clf1", "X"], "output": "trained"}
+  ]
+}`
+
+func TestFig4TemplateEndToEnd(t *testing.T) {
+	p, err := ParsePipeline([]byte(fig4Template))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(p)
+	eng.Seed = 1
+	ds := smallDS(t, "P0")
+	if err := eng.Train(ds); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Test(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pred) != len(ds.Packets) {
+		t.Fatalf("predictions %d, packets %d", len(res.Pred), len(ds.Packets))
+	}
+	prec := mlkit.Precision(res.Truth, res.Pred)
+	rec := mlkit.Recall(res.Truth, res.Pred)
+	if prec < 0.8 || rec < 0.5 {
+		t.Errorf("train-on-test precision %.3f recall %.3f too low for a loud-attack dataset", prec, rec)
+	}
+	// The engine must have profiled every op.
+	if len(eng.Profile) != len(p.Ops) {
+		t.Errorf("profile has %d entries, want %d", len(eng.Profile), len(p.Ops))
+	}
+	for _, st := range eng.Profile {
+		if st.Func == "" || st.Wall < 0 {
+			t.Errorf("bad profile entry %+v", st)
+		}
+	}
+}
+
+func TestConnectionPipelineEndToEnd(t *testing.T) {
+	p := &Pipeline{
+		Name:        "conn-rf",
+		Granularity: "connection",
+		Ops: []OpSpec{
+			{Func: "flow_assemble", Input: []string{InputName}, Output: "flows", Params: map[string]any{"granularity": "connection"}},
+			{Func: "flow_features", Input: []string{"flows"}, Output: "X"},
+			{Func: "model", Output: "m", Params: map[string]any{"model_type": "random_forest", "n_trees": 15}},
+			{Func: "train", Input: []string{"m", "X"}, Output: "fit"},
+		},
+	}
+	eng := NewEngine(p)
+	eng.Seed = 3
+	ds := smallDS(t, "F1")
+	if err := eng.Train(ds); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Test(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unit != UnitFlow {
+		t.Fatalf("unit = %v, want flow", res.Unit)
+	}
+	if prec := mlkit.Precision(res.Truth, res.Pred); prec < 0.8 {
+		t.Errorf("same-data precision %.3f too low", prec)
+	}
+	// Attack attribution must be present for malicious units.
+	sawAttack := false
+	for i := range res.Truth {
+		if res.Truth[i] == 1 && res.Attacks[i] != "" {
+			sawAttack = true
+		}
+	}
+	if !sawAttack {
+		t.Error("no attack attribution on malicious flows")
+	}
+}
+
+func TestCheckRejectsBadPipelines(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *Pipeline
+		want string
+	}{
+		{
+			"unknown-op",
+			&Pipeline{Granularity: "packet", Ops: []OpSpec{{Func: "nope", Output: "x"}}},
+			"unknown func",
+		},
+		{
+			"undefined-input",
+			&Pipeline{Granularity: "packet", Ops: []OpSpec{
+				{Func: "field_extract", Input: []string{"ghost"}, Output: "f", Params: map[string]any{"fields": []any{"len"}}},
+			}},
+			"not defined",
+		},
+		{
+			"kind-mismatch",
+			&Pipeline{Granularity: "packet", Ops: []OpSpec{
+				{Func: "field_extract", Input: []string{InputName}, Output: "f", Params: map[string]any{"fields": []any{"len"}}},
+				{Func: "flow_features", Input: []string{"f"}, Output: "g"},
+			}},
+			"want flows",
+		},
+		{
+			"no-train",
+			&Pipeline{Granularity: "packet", Ops: []OpSpec{
+				{Func: "field_extract", Input: []string{InputName}, Output: "f", Params: map[string]any{"fields": []any{"len"}}},
+			}},
+			"no train op",
+		},
+		{
+			"bad-granularity",
+			&Pipeline{Granularity: "frobs", Ops: []OpSpec{
+				{Func: "field_extract", Input: []string{InputName}, Output: "f", Params: map[string]any{"fields": []any{"len"}}},
+			}},
+			"granularity",
+		},
+		{
+			"duplicate-output",
+			&Pipeline{Granularity: "packet", Ops: []OpSpec{
+				{Func: "field_extract", Input: []string{InputName}, Output: "f", Params: map[string]any{"fields": []any{"len"}}},
+				{Func: "field_extract", Input: []string{InputName}, Output: "f", Params: map[string]any{"fields": []any{"len"}}},
+			}},
+			"already defined",
+		},
+	}
+	for _, c := range cases {
+		err := NewEngine(c.p).Check()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want contains %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestParsePipelineRejectsUnknownFields(t *testing.T) {
+	_, err := ParsePipeline([]byte(`{"name":"x","granularity":"packet","surprise":1,"ops":[]}`))
+	if err == nil {
+		t.Fatal("want error on unknown top-level field")
+	}
+}
+
+func TestTestBeforeTrainFails(t *testing.T) {
+	p, _ := ParsePipeline([]byte(fig4Template))
+	eng := NewEngine(p)
+	if _, err := eng.Test(smallDS(t, "P0")); err == nil {
+		t.Fatal("want error on Test before Train")
+	}
+}
+
+func TestDeadValueElimination(t *testing.T) {
+	p, _ := ParsePipeline([]byte(fig4Template))
+	eng := NewEngine(p)
+	last := eng.lastUses()
+	// "Packets" is last read by the group_by op (index 1): after op 1 it
+	// must be freed.
+	if last["Packets"] != 1 {
+		t.Errorf("lastUse(Packets) = %d, want 1", last["Packets"])
+	}
+	// The train op (index 6) reads clf1 and X.
+	if last["X"] != 6 || last["clf1"] != 6 {
+		t.Errorf("lastUse(X)=%d lastUse(clf1)=%d, want 6/6", last["X"], last["clf1"])
+	}
+}
+
+func TestKitsuneFeaturesShape(t *testing.T) {
+	ds := smallDS(t, "P1")
+	out, err := opKitsuneFeatures(nil, []Value{Packets{ds}}, params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := out.(*Frame)
+	if f.N != len(ds.Packets) {
+		t.Fatalf("rows %d != packets %d", f.N, len(ds.Packets))
+	}
+	if len(f.Cols) != 39 { // 3 lambdas x 13 stats
+		t.Fatalf("kitsune features = %d cols, want 39", len(f.Cols))
+	}
+}
+
+func TestKitsuneFeaturesWorkOn80211(t *testing.T) {
+	ds := smallDS(t, "P2")
+	out, err := opKitsuneFeatures(nil, []Value{Packets{ds}}, params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := out.(*Frame)
+	// Rates (weights) must be nonzero for most rows even without IPs.
+	nz := 0
+	col := f.Col("k_1_srcw").F
+	for _, v := range col {
+		if v > 0 {
+			nz++
+		}
+	}
+	if nz < f.N/2 {
+		t.Errorf("only %d/%d rows have src weight > 0 on 802.11", nz, f.N)
+	}
+}
+
+func TestNPrintOpVariants(t *testing.T) {
+	ds := smallDS(t, "P0")
+	for _, v := range []string{"all", "tcp_udp_ipv4", "tcp_udp_ipv4_payload", "tcp_icmp_ipv4"} {
+		out, err := opNPrint(nil, []Value{Packets{ds}}, params{"variant": v})
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if out.(*Frame).N != len(ds.Packets) {
+			t.Fatalf("%s: row mismatch", v)
+		}
+	}
+	if _, err := opNPrint(nil, []Value{Packets{ds}}, params{"variant": "bogus"}); err == nil {
+		t.Fatal("want error for unknown variant")
+	}
+}
+
+func TestModelOpValidatesEagerly(t *testing.T) {
+	if _, err := opModel(nil, nil, params{"model_type": "not_a_model"}); err == nil {
+		t.Fatal("want error for unknown model type")
+	}
+	for _, mt := range ModelTypes() {
+		if _, err := opModel(nil, nil, params{"model_type": mt}); err != nil {
+			t.Errorf("model %s: %v", mt, err)
+		}
+	}
+}
+
+func TestSampleDeterministicAndSorted(t *testing.T) {
+	f := NewFrame(100)
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	f.AddF("v", vals)
+	ctx := &opCtx{seed: 5, state: map[string]any{}}
+	a, err := opSample(ctx, []Value{f}, params{"n": 10.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := opSample(&opCtx{seed: 5, state: map[string]any{}}, []Value{f}, params{"n": 10.0})
+	af, bf := a.(*Frame), b.(*Frame)
+	if af.N != 10 || bf.N != 10 {
+		t.Fatalf("sample sizes %d/%d", af.N, bf.N)
+	}
+	for i := 0; i < 10; i++ {
+		if af.Col("v").F[i] != bf.Col("v").F[i] {
+			t.Fatal("sampling not deterministic")
+		}
+		if i > 0 && af.Col("v").F[i] < af.Col("v").F[i-1] {
+			t.Fatal("sample not in row order")
+		}
+	}
+}
+
+func TestDropConstAndDropCorrelated(t *testing.T) {
+	f := NewFrame(50)
+	a := make([]float64, 50)
+	b := make([]float64, 50)
+	c := make([]float64, 50)
+	rng := mlkit.NewRNG(1)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = 2 * a[i] // perfectly correlated
+		c[i] = 7        // constant
+	}
+	f.AddF("a", a)
+	f.AddF("b", b)
+	f.AddF("c", c)
+
+	ctx := &opCtx{mode: ModeTrain, outName: "d", state: map[string]any{}}
+	out, err := opDropConst(ctx, []Value{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := out.(*Frame).Names(); len(names) != 2 {
+		t.Fatalf("drop_const kept %v, want [a b]", names)
+	}
+	ctx2 := &opCtx{mode: ModeTrain, outName: "e", state: map[string]any{}}
+	out2, err := opDropCorrelated(ctx2, []Value{out.(*Frame)}, params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := out2.(*Frame).Names(); len(names) != 1 || names[0] != "a" {
+		t.Fatalf("drop_correlated kept %v, want [a]", names)
+	}
+}

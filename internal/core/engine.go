@@ -1,0 +1,322 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"lumen/internal/dataset"
+	"lumen/internal/mlkit"
+)
+
+// Mode distinguishes fitting runs from inference runs of a pipeline.
+type Mode int
+
+// Execution modes.
+const (
+	ModeTrain Mode = iota
+	ModeTest
+)
+
+// InputName is the predefined binding for the dataset a pipeline runs on.
+const InputName = "$packets"
+
+// OpSpec is one template entry — the JSON object of the paper's Fig. 4:
+// a configurable operation with named inputs, one named output and
+// algorithm-specific parameters.
+type OpSpec struct {
+	Func   string         `json:"func"`
+	Input  []string       `json:"input"`
+	Output string         `json:"output"`
+	Params map[string]any `json:"params"`
+}
+
+// Pipeline is a complete algorithm template.
+type Pipeline struct {
+	Name        string   `json:"name"`
+	Granularity string   `json:"granularity"` // packet | uniflow | connection
+	Ops         []OpSpec `json:"ops"`
+}
+
+// Granular parses the declared classification granularity.
+func (p *Pipeline) Granular() (dataset.Granularity, error) {
+	switch p.Granularity {
+	case "packet":
+		return dataset.Packet, nil
+	case "uniflow":
+		return dataset.UniflowG, nil
+	case "connection":
+		return dataset.ConnectionG, nil
+	}
+	return 0, fmt.Errorf("core: pipeline %q has unknown granularity %q", p.Name, p.Granularity)
+}
+
+// EvalResult is the outcome of a test run: per-unit predictions aligned
+// with ground truth and attack attribution, at the pipeline's
+// classification granularity.
+type EvalResult struct {
+	Unit    UnitKind
+	Pred    []int
+	Truth   []int
+	Attacks []string
+	Scores  []float64 // positive-class scores when the model supports them
+	UnitIdx []int
+}
+
+// OpStats records the profile of one executed operation (the paper's
+// engine "generates plots of memory and time spent in each operation").
+type OpStats struct {
+	Func    string
+	Output  string
+	Wall    time.Duration
+	Allocs  uint64 // bytes allocated during the op
+	OutRows int    // rows when the output is a frame/grouped
+	// Cached marks results served from a shared Cache.
+	Cached bool
+}
+
+// opCtx is passed to every op invocation.
+type opCtx struct {
+	mode    Mode
+	outName string
+	state   map[string]any
+	seed    int64
+	result  *EvalResult
+}
+
+func (c *opCtx) setState(v any) { c.state[c.outName] = v }
+func (c *opCtx) getState() any  { return c.state[c.outName] }
+
+// Engine compiles and executes one pipeline. Train must run before Test;
+// the fitted state of stateful operations (scalers, filters, models) is
+// keyed by their output names.
+type Engine struct {
+	P    *Pipeline
+	Seed int64
+
+	state map[string]any
+	cache *Cache
+	// Profile holds per-op stats of the most recent run.
+	Profile []OpStats
+	trained bool
+}
+
+// NewEngine wraps a pipeline. Call Check (or let Train do it) before use.
+func NewEngine(p *Pipeline) *Engine {
+	return &Engine{P: p, state: make(map[string]any)}
+}
+
+// SetCache attaches a shared cache for stateless op results (see Cache).
+func (e *Engine) SetCache(c *Cache) { e.cache = c }
+
+// cacheableOps lists the stateless, mode-independent operations whose
+// results a shared Cache may serve.
+var cacheableOps = map[string]bool{
+	"field_extract": true, "nprint": true, "kitsune_features": true,
+	"dot11_features": true, "flow_assemble": true, "flow_features": true,
+	"group_by": true, "time_slice": true, "apply_aggregates": true,
+	"broadcast_aggregates": true, "select": true, "filter": true,
+	"concat_cols": true, "log_scale": true, "derive": true, "head": true,
+}
+
+// Check statically validates the pipeline: known ops, defined inputs,
+// kind-correct connections, single final train op — the "execution engine
+// verifies the file's syntax (e.g. type checks)" step of the paper.
+func (e *Engine) Check() error {
+	if len(e.P.Ops) == 0 {
+		return fmt.Errorf("core: pipeline %q has no ops", e.P.Name)
+	}
+	if _, err := e.P.Granular(); err != nil {
+		return err
+	}
+	kinds := map[string]Kind{InputName: KindPackets}
+	trainSeen := false
+	for i, op := range e.P.Ops {
+		def, ok := opRegistry[op.Func]
+		if !ok {
+			return fmt.Errorf("core: op %d: unknown func %q (available: %v)", i, op.Func, Ops())
+		}
+		if err := checkInputs(def, op, kinds, i); err != nil {
+			return err
+		}
+		if op.Output == "" {
+			return fmt.Errorf("core: op %d (%s): missing output name", i, op.Func)
+		}
+		if _, dup := kinds[op.Output]; dup {
+			return fmt.Errorf("core: op %d (%s): output %q already defined", i, op.Func, op.Output)
+		}
+		kinds[op.Output] = def.sig.out
+		if op.Func == "train" {
+			if trainSeen {
+				return fmt.Errorf("core: op %d: multiple train ops are not supported", i)
+			}
+			trainSeen = true
+		}
+	}
+	if !trainSeen {
+		return fmt.Errorf("core: pipeline %q has no train op", e.P.Name)
+	}
+	return nil
+}
+
+func checkInputs(def *opDef, op OpSpec, kinds map[string]Kind, i int) error {
+	want := def.sig.in
+	switch {
+	case def.sig.variadicIn:
+		if len(op.Input) < len(want) {
+			return fmt.Errorf("core: op %d (%s): needs at least %d inputs, got %d", i, op.Func, len(want), len(op.Input))
+		}
+	case len(op.Input) != len(want):
+		return fmt.Errorf("core: op %d (%s): needs %d inputs, got %d", i, op.Func, len(want), len(op.Input))
+	}
+	for j, name := range op.Input {
+		k, ok := kinds[name]
+		if !ok {
+			return fmt.Errorf("core: op %d (%s): input %q is not defined by any earlier op", i, op.Func, name)
+		}
+		exp := want[len(want)-1]
+		if j < len(want) {
+			exp = want[j]
+		}
+		if k != exp {
+			return fmt.Errorf("core: op %d (%s): input %q is %v, want %v", i, op.Func, name, k, exp)
+		}
+	}
+	return nil
+}
+
+// lastUses computes, for every value name, the index of the last op that
+// reads it — the engine's dead-value elimination ("removing variables/
+// data that are not used in future operations to conserve memory").
+func (e *Engine) lastUses() map[string]int {
+	last := map[string]int{}
+	for i, op := range e.P.Ops {
+		for _, in := range op.Input {
+			last[in] = i
+		}
+	}
+	return last
+}
+
+// run executes the pipeline over ds in the given mode.
+func (e *Engine) run(ds *dataset.Labeled, mode Mode) (*EvalResult, error) {
+	if err := e.Check(); err != nil {
+		return nil, err
+	}
+	env := map[string]Value{InputName: Packets{DS: ds}}
+	last := e.lastUses()
+	e.Profile = e.Profile[:0]
+	var result *EvalResult
+	for i, op := range e.P.Ops {
+		def := opRegistry[op.Func]
+		in := make([]Value, len(op.Input))
+		for j, name := range op.Input {
+			v, ok := env[name]
+			if !ok {
+				return nil, fmt.Errorf("core: op %d (%s): value %q was freed or never set", i, op.Func, name)
+			}
+			in[j] = v
+		}
+		// Serve stateless ops from the shared cache when attached.
+		var key string
+		useCache := false
+		if e.cache != nil && cacheableOps[op.Func] {
+			if k, ok := cacheKey(op, in); ok {
+				key = k
+				if v, hit := e.cache.get(key); hit {
+					env[op.Output] = v
+					st := OpStats{Func: op.Func, Output: op.Output, Cached: true}
+					if fr, ok := v.(*Frame); ok {
+						st.OutRows = fr.N
+					}
+					e.Profile = append(e.Profile, st)
+					for name, lu := range last {
+						if lu == i {
+							delete(env, name)
+						}
+					}
+					continue
+				}
+				useCache = true
+			}
+		}
+		ctx := &opCtx{mode: mode, outName: op.Output, state: e.state, seed: e.Seed}
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		out, err := def.run(ctx, in, params(op.Params))
+		wall := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+		if err != nil {
+			return nil, fmt.Errorf("core: op %d (%s -> %s): %w", i, op.Func, op.Output, err)
+		}
+		env[op.Output] = out
+		if useCache {
+			e.cache.put(key, out)
+		}
+		st := OpStats{Func: op.Func, Output: op.Output, Wall: wall, Allocs: ms1.TotalAlloc - ms0.TotalAlloc}
+		switch v := out.(type) {
+		case *Frame:
+			st.OutRows = v.N
+		case *Grouped:
+			st.OutRows = len(v.Groups)
+		}
+		e.Profile = append(e.Profile, st)
+		if ctx.result != nil {
+			result = ctx.result
+		}
+		// Free values no later op reads.
+		for name, lu := range last {
+			if lu == i {
+				delete(env, name)
+			}
+		}
+	}
+	return result, nil
+}
+
+// Train fits the pipeline's stateful ops and model on a labelled dataset.
+func (e *Engine) Train(ds *dataset.Labeled) error {
+	if _, err := e.run(ds, ModeTrain); err != nil {
+		return err
+	}
+	e.trained = true
+	return nil
+}
+
+// Test runs the fitted pipeline on a dataset and returns per-unit
+// predictions with ground truth.
+func (e *Engine) Test(ds *dataset.Labeled) (*EvalResult, error) {
+	if !e.trained {
+		return nil, fmt.Errorf("core: Test before Train on pipeline %q", e.P.Name)
+	}
+	res, err := e.run(ds, ModeTest)
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("core: pipeline %q produced no predictions", e.P.Name)
+	}
+	return res, nil
+}
+
+// Reset clears fitted state so the engine can be retrained.
+func (e *Engine) Reset() {
+	e.state = make(map[string]any)
+	e.trained = false
+}
+
+// TrainedModel returns the fitted classifier behind the pipeline's train
+// op (ok=false before Train). Combined with mlkit.SaveModel this gives
+// the "save_path" output of the paper's Fig. 4 template.
+func (e *Engine) TrainedModel() (mlkit.Classifier, bool) {
+	for _, op := range e.P.Ops {
+		if op.Func != "train" {
+			continue
+		}
+		if tr, ok := e.state[op.Output].(*Trained); ok {
+			return tr.Clf, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+
+	"lumen/internal/dataset"
+	"lumen/internal/mlkit"
+)
+
+func TestExtractFlowFeatures(t *testing.T) {
+	ds := smallDS(t, "F1")
+	fs, err := ExtractFlowFeatures(ds, dataset.ConnectionG, []string{"duration", "pkt_count", "dst_port"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.Names) != 3 {
+		t.Fatalf("names = %v, want 3", fs.Names)
+	}
+	if len(fs.X) == 0 || len(fs.X[0]) != 3 {
+		t.Fatalf("X shape %dx%d", len(fs.X), len(fs.X[0]))
+	}
+	if len(fs.Y) != len(fs.X) || len(fs.Attacks) != len(fs.X) {
+		t.Fatal("labels/attacks misaligned")
+	}
+	if fs.Unit != UnitFlow {
+		t.Errorf("unit = %v, want flow", fs.Unit)
+	}
+	// Must contain both classes for a labelled attack dataset.
+	pos := 0
+	for _, v := range fs.Y {
+		pos += v
+	}
+	if pos == 0 || pos == len(fs.Y) {
+		t.Errorf("degenerate labels: %d/%d positive", pos, len(fs.Y))
+	}
+}
+
+func TestExtractFlowFeaturesRejectsPacketGranularity(t *testing.T) {
+	ds := smallDS(t, "F1")
+	if _, err := ExtractFlowFeatures(ds, dataset.Packet, nil); err == nil {
+		t.Fatal("packet granularity should be rejected")
+	}
+}
+
+func TestExtractPacketFields(t *testing.T) {
+	ds := smallDS(t, "P0")
+	fs, err := ExtractPacketFields(ds, []string{"len", "src_ip", "dst_port"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// src_ip is a string column and must be skipped from X/Names.
+	if len(fs.Names) != 2 {
+		t.Fatalf("names = %v, want [len dst_port]", fs.Names)
+	}
+	if len(fs.X) != len(ds.Packets) {
+		t.Fatalf("rows %d != packets %d", len(fs.X), len(ds.Packets))
+	}
+	if fs.Unit != UnitPacket {
+		t.Errorf("unit = %v, want packet", fs.Unit)
+	}
+}
+
+func TestModelOpTuneGridSearch(t *testing.T) {
+	p := &Pipeline{
+		Name:        "tuned",
+		Granularity: "connection",
+		Ops: []OpSpec{
+			{Func: "flow_assemble", Input: []string{InputName}, Output: "fl", Params: map[string]any{"granularity": "connection"}},
+			{Func: "flow_features", Input: []string{"fl"}, Output: "X"},
+			{Func: "model", Output: "m", Params: map[string]any{
+				"model_type": "decision_tree",
+				"tune":       map[string]any{"max_depth": []any{2.0, 10.0}},
+			}},
+			{Func: "train", Input: []string{"m", "X"}, Output: "t"},
+		},
+	}
+	eng := NewEngine(p)
+	eng.Seed = 5
+	ds := smallDS(t, "F1")
+	if err := eng.Train(ds); err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Test(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prec := mlkit.Precision(res.Truth, res.Pred); prec < 0.8 {
+		t.Errorf("tuned precision %.3f too low", prec)
+	}
+}
+
+func TestModelOpTuneRejectsBadSpecs(t *testing.T) {
+	if _, err := opModel(nil, nil, params{
+		"model_type": "gaussian_nb",
+		"tune":       map[string]any{"x": []any{1.0}},
+	}); err == nil {
+		t.Error("tune on unsupported model should fail at Check time")
+	}
+	if _, err := opModel(nil, nil, params{
+		"model_type": "decision_tree",
+		"tune":       map[string]any{"max_depth": "nope"},
+	}); err == nil {
+		t.Error("non-list tune value should fail")
+	}
+	if _, err := opModel(nil, nil, params{
+		"model_type": "decision_tree",
+		"tune":       map[string]any{"max_depth": []any{"x"}},
+	}); err == nil {
+		t.Error("non-numeric tune entry should fail")
+	}
+}

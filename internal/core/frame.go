@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// UnitKind declares what one frame row represents, so predictions can be
+// attributed back to packets or flows for evaluation.
+type UnitKind int
+
+// Row units.
+const (
+	UnitPacket UnitKind = iota
+	UnitFlow
+	UnitGroup
+)
+
+// Column is one named column: numeric (F) or categorical (S), never both.
+type Column struct {
+	Name string
+	F    []float64
+	S    []string
+}
+
+// IsNumeric reports whether the column holds float data.
+func (c *Column) IsNumeric() bool { return c.F != nil }
+
+// Frame is the columnar table flowing between operations. Columnar layout
+// makes aggregate computation a cache-friendly scan — one of the design
+// choices the ablation benches measure.
+type Frame struct {
+	N      int
+	Cols   []Column
+	byName map[string]int
+
+	// Unit declares the row unit; UnitIdx maps each row to its source
+	// index (packet index or flow index). Both optional for derived
+	// frames.
+	Unit    UnitKind
+	UnitIdx []int
+
+	// Labels is the per-row ground truth when known (training frames).
+	Labels []int
+	// Attacks is the per-row attack attribution ("" = benign).
+	Attacks []string
+}
+
+// Kind implements Value.
+func (*Frame) Kind() Kind { return KindFrame }
+
+// NewFrame returns an empty frame of n rows.
+func NewFrame(n int) *Frame {
+	return &Frame{N: n, byName: make(map[string]int)}
+}
+
+// AddF appends a numeric column. It panics on length mismatch — columns
+// are built by ops, so a mismatch is a programming error.
+func (f *Frame) AddF(name string, vals []float64) {
+	if len(vals) != f.N {
+		panic(fmt.Sprintf("core: column %q has %d values, frame has %d rows", name, len(vals), f.N))
+	}
+	f.byName[name] = len(f.Cols)
+	f.Cols = append(f.Cols, Column{Name: name, F: vals})
+}
+
+// AddS appends a categorical column.
+func (f *Frame) AddS(name string, vals []string) {
+	if len(vals) != f.N {
+		panic(fmt.Sprintf("core: column %q has %d values, frame has %d rows", name, len(vals), f.N))
+	}
+	f.byName[name] = len(f.Cols)
+	f.Cols = append(f.Cols, Column{Name: name, S: vals})
+}
+
+// Col returns the named column, or nil when absent.
+func (f *Frame) Col(name string) *Column {
+	i, ok := f.byName[name]
+	if !ok {
+		return nil
+	}
+	return &f.Cols[i]
+}
+
+// Names returns column names in order.
+func (f *Frame) Names() []string {
+	out := make([]string, len(f.Cols))
+	for i := range f.Cols {
+		out[i] = f.Cols[i].Name
+	}
+	return out
+}
+
+// Matrix renders the numeric columns as row-major feature vectors, the
+// form mlkit models consume. Categorical columns are skipped.
+func (f *Frame) Matrix() [][]float64 {
+	var numeric []*Column
+	for i := range f.Cols {
+		if f.Cols[i].IsNumeric() {
+			numeric = append(numeric, &f.Cols[i])
+		}
+	}
+	X := make([][]float64, f.N)
+	for r := 0; r < f.N; r++ {
+		row := make([]float64, len(numeric))
+		for j, c := range numeric {
+			row[j] = c.F[r]
+		}
+		X[r] = row
+	}
+	return X
+}
+
+// Select returns a new frame with only the named columns (sharing column
+// data), preserving unit and label metadata.
+func (f *Frame) Select(names []string) (*Frame, error) {
+	out := NewFrame(f.N)
+	out.Unit, out.UnitIdx, out.Labels, out.Attacks = f.Unit, f.UnitIdx, f.Labels, f.Attacks
+	for _, n := range names {
+		c := f.Col(n)
+		if c == nil {
+			return nil, fmt.Errorf("core: select: no column %q (have %v)", n, f.Names())
+		}
+		if c.IsNumeric() {
+			out.AddF(n, c.F)
+		} else {
+			out.AddS(n, c.S)
+		}
+	}
+	return out, nil
+}
+
+// FilterRows returns a new frame containing only rows where keep is true.
+func (f *Frame) FilterRows(keep []bool) *Frame {
+	idx := make([]int, 0, f.N)
+	for i, k := range keep {
+		if k {
+			idx = append(idx, i)
+		}
+	}
+	return f.TakeRows(idx)
+}
+
+// TakeRows returns a new frame with the given rows, in order.
+func (f *Frame) TakeRows(idx []int) *Frame {
+	out := NewFrame(len(idx))
+	out.Unit = f.Unit
+	if f.UnitIdx != nil {
+		out.UnitIdx = make([]int, len(idx))
+		for i, r := range idx {
+			out.UnitIdx[i] = f.UnitIdx[r]
+		}
+	}
+	if f.Labels != nil {
+		out.Labels = make([]int, len(idx))
+		for i, r := range idx {
+			out.Labels[i] = f.Labels[r]
+		}
+	}
+	if f.Attacks != nil {
+		out.Attacks = make([]string, len(idx))
+		for i, r := range idx {
+			out.Attacks[i] = f.Attacks[r]
+		}
+	}
+	for _, c := range f.Cols {
+		if c.IsNumeric() {
+			vals := make([]float64, len(idx))
+			for i, r := range idx {
+				vals[i] = c.F[r]
+			}
+			out.AddF(c.Name, vals)
+		} else {
+			vals := make([]string, len(idx))
+			for i, r := range idx {
+				vals[i] = c.S[r]
+			}
+			out.AddS(c.Name, vals)
+		}
+	}
+	return out
+}
+
+// Grouped is a frame partitioned into row groups by key.
+type Grouped struct {
+	F      *Frame
+	Keys   []string // group key per group
+	Groups [][]int  // row indices per group
+	// GroupOf maps each frame row to its group, -1 when ungrouped.
+	GroupOf []int
+}
+
+// Kind implements Value.
+func (*Grouped) Kind() Kind { return KindGrouped }
+
+// groupRows partitions rows of f by the concatenated string value of the
+// key columns, deterministically ordered by first appearance.
+func groupRows(f *Frame, keyCols []string) (*Grouped, error) {
+	cols := make([]*Column, len(keyCols))
+	for i, n := range keyCols {
+		c := f.Col(n)
+		if c == nil {
+			return nil, fmt.Errorf("core: group_by: no column %q", n)
+		}
+		cols[i] = c
+	}
+	g := &Grouped{F: f, GroupOf: make([]int, f.N)}
+	index := map[string]int{}
+	for r := 0; r < f.N; r++ {
+		key := ""
+		for i, c := range cols {
+			if i > 0 {
+				key += "|"
+			}
+			if c.IsNumeric() {
+				key += fmt.Sprintf("%g", c.F[r])
+			} else {
+				key += c.S[r]
+			}
+		}
+		gi, ok := index[key]
+		if !ok {
+			gi = len(g.Groups)
+			index[key] = gi
+			g.Keys = append(g.Keys, key)
+			g.Groups = append(g.Groups, nil)
+		}
+		g.Groups[gi] = append(g.Groups[gi], r)
+		g.GroupOf[r] = gi
+	}
+	return g, nil
+}
+
+// sortedCopy returns a sorted copy of xs.
+func sortedCopy(xs []float64) []float64 {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return cp
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OpFunc executes one operation. ctx gives access to fitted state for
+// stateful ops (normalization, models) and the execution mode.
+type OpFunc func(ctx *opCtx, in []Value, p params) (Value, error)
+
+// opSig declares an operation's type signature for static checking.
+type opSig struct {
+	in  []Kind // expected input kinds, in order
+	out Kind
+	// variadicIn allows any number of trailing inputs of the last kind.
+	variadicIn bool
+}
+
+type opDef struct {
+	name string
+	sig  opSig
+	run  OpFunc
+	doc  string
+}
+
+// opRegistry holds every operation the framework defines. Operations are
+// configurable (paper §3.2: "each operation can, in practice, support
+// multiple functions"), so the ~30 registered names cover the feature
+// pipelines of all 16 ported algorithms.
+var opRegistry = map[string]*opDef{}
+
+func register(name, doc string, sig opSig, run OpFunc) {
+	if _, dup := opRegistry[name]; dup {
+		panic("core: duplicate op " + name)
+	}
+	opRegistry[name] = &opDef{name: name, sig: sig, run: run, doc: doc}
+}
+
+// Ops returns the registered operation names, sorted.
+func Ops() []string {
+	out := make([]string, 0, len(opRegistry))
+	for n := range opRegistry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OpDoc returns the one-line description of an operation.
+func OpDoc(name string) string {
+	if d, ok := opRegistry[name]; ok {
+		return d.doc
+	}
+	return ""
+}
+
+// params wraps the JSON parameter object of one op with typed accessors
+// (JSON numbers arrive as float64).
+type params map[string]any
+
+func (p params) str(key, def string) string {
+	if v, ok := p[key]; ok {
+		if s, ok := v.(string); ok {
+			return s
+		}
+	}
+	return def
+}
+
+func (p params) f64(key string, def float64) float64 {
+	switch v := p[key].(type) {
+	case float64:
+		return v
+	case int:
+		return float64(v)
+	}
+	return def
+}
+
+func (p params) i(key string, def int) int {
+	switch v := p[key].(type) {
+	case float64:
+		return int(v)
+	case int:
+		return v
+	}
+	return def
+}
+
+func (p params) b(key string, def bool) bool {
+	if v, ok := p[key].(bool); ok {
+		return v
+	}
+	return def
+}
+
+func (p params) strList(key string) []string {
+	switch v := p[key].(type) {
+	case []string:
+		return v
+	case []any:
+		out := make([]string, 0, len(v))
+		for _, e := range v {
+			if s, ok := e.(string); ok {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// anyList returns the raw list value (for structured params like
+// aggregate specs).
+func (p params) anyList(key string) []any {
+	if v, ok := p[key].([]any); ok {
+		return v
+	}
+	return nil
+}
+
+func asFrame(v Value) (*Frame, error) {
+	f, ok := v.(*Frame)
+	if !ok {
+		return nil, fmt.Errorf("core: expected frame, got %v", v.Kind())
+	}
+	return f, nil
+}
+
+func asPackets(v Value) (Packets, error) {
+	pk, ok := v.(Packets)
+	if !ok {
+		return Packets{}, fmt.Errorf("core: expected packets, got %v", v.Kind())
+	}
+	return pk, nil
+}

@@ -1,0 +1,480 @@
+package core
+
+import (
+	"fmt"
+
+	"lumen/internal/dataset"
+	"lumen/internal/features"
+	"lumen/internal/netpkt"
+)
+
+func init() {
+	register("field_extract",
+		"extract per-packet header fields into a frame (single pass, all requested fields at once)",
+		opSig{in: []Kind{KindPackets}, out: KindFrame}, opFieldExtract)
+	register("nprint",
+		"render packets to the nprint bit-level representation (variants: all, tcp_udp_ipv4, tcp_udp_ipv4_payload, tcp_icmp_ipv4)",
+		opSig{in: []Kind{KindPackets}, out: KindFrame}, opNPrint)
+	register("kitsune_features",
+		"damped incremental statistics per packet over src, channel and socket groupings (Kitsune/AfterImage)",
+		opSig{in: []Kind{KindPackets}, out: KindFrame}, opKitsuneFeatures)
+	register("dot11_features",
+		"802.11 frame features: subtype mix, retry, duration, per-transmitter rates",
+		opSig{in: []Kind{KindPackets}, out: KindFrame}, opDot11Features)
+}
+
+// packetFields is the catalogue of per-packet fields field_extract knows.
+// All requested fields are produced in one pass over the packets (the
+// shared-extraction optimization the paper highlights for size+time).
+var packetFields = []string{
+	"ts", "iat", "len", "payload_len", "ttl", "ip_id", "ip_tos", "proto",
+	"src_port", "dst_port", "tcp_flags", "tcp_syn", "tcp_ack", "tcp_fin",
+	"tcp_rst", "tcp_psh", "tcp_urg", "tcp_window", "udp_len", "icmp_type",
+	"icmp_code", "is_arp", "is_tcp", "is_udp", "is_icmp", "dns_qr", "dns_qd",
+	"is_http", "http_is_req", "http_status", "http_path_len", "http_body_len",
+	"is_mqtt", "mqtt_type", "mqtt_qos", "mqtt_topic_len",
+	"src_ip", "dst_ip", "src_mac", "dst_mac",
+}
+
+// PacketFields returns the supported field names (for documentation and
+// template validation).
+func PacketFields() []string { return append([]string(nil), packetFields...) }
+
+func opFieldExtract(_ *opCtx, in []Value, p params) (Value, error) {
+	pk, err := asPackets(in[0])
+	if err != nil {
+		return nil, err
+	}
+	fields := p.strList("fields")
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("field_extract: no fields requested")
+	}
+	known := map[string]bool{}
+	for _, f := range packetFields {
+		known[f] = true
+	}
+	for _, f := range fields {
+		if !known[f] {
+			return nil, fmt.Errorf("field_extract: unknown field %q", f)
+		}
+	}
+	ds := pk.DS
+	n := len(ds.Packets)
+	fr := newPacketFrame(ds)
+
+	numeric := map[string][]float64{}
+	strs := map[string][]string{}
+	for _, f := range fields {
+		switch f {
+		case "src_ip", "dst_ip", "src_mac", "dst_mac":
+			strs[f] = make([]string, n)
+		default:
+			numeric[f] = make([]float64, n)
+		}
+	}
+	var prevTs float64
+	for i, pkt := range ds.Packets {
+		t := float64(pkt.Ts.UnixNano()) / 1e9
+		for f := range numeric {
+			var v float64
+			switch f {
+			case "ts":
+				v = t
+			case "iat":
+				if i > 0 {
+					v = t - prevTs
+				}
+			case "len":
+				v = float64(pkt.WireLen())
+			case "payload_len":
+				v = float64(len(pkt.Payload))
+			case "ttl":
+				if pkt.IPv4 != nil {
+					v = float64(pkt.IPv4.TTL)
+				}
+			case "ip_id":
+				if pkt.IPv4 != nil {
+					v = float64(pkt.IPv4.ID)
+				}
+			case "ip_tos":
+				if pkt.IPv4 != nil {
+					v = float64(pkt.IPv4.TOS)
+				}
+			case "proto":
+				v = float64(pkt.Protocol())
+			case "src_port":
+				v = float64(pkt.SrcPort())
+			case "dst_port":
+				v = float64(pkt.DstPort())
+			case "tcp_flags":
+				if pkt.TCP != nil {
+					v = float64(pkt.TCP.Flags)
+				}
+			case "tcp_syn":
+				v = flagVal(pkt, netpkt.FlagSYN)
+			case "tcp_ack":
+				v = flagVal(pkt, netpkt.FlagACK)
+			case "tcp_fin":
+				v = flagVal(pkt, netpkt.FlagFIN)
+			case "tcp_rst":
+				v = flagVal(pkt, netpkt.FlagRST)
+			case "tcp_psh":
+				v = flagVal(pkt, netpkt.FlagPSH)
+			case "tcp_urg":
+				v = flagVal(pkt, netpkt.FlagURG)
+			case "tcp_window":
+				if pkt.TCP != nil {
+					v = float64(pkt.TCP.Window)
+				}
+			case "udp_len":
+				if pkt.UDP != nil {
+					v = float64(pkt.UDP.Length)
+				}
+			case "icmp_type":
+				if pkt.ICMP != nil {
+					v = float64(pkt.ICMP.Type)
+				}
+			case "icmp_code":
+				if pkt.ICMP != nil {
+					v = float64(pkt.ICMP.Code)
+				}
+			case "is_arp":
+				v = b2f(pkt.ARP != nil)
+			case "is_tcp":
+				v = b2f(pkt.TCP != nil)
+			case "is_udp":
+				v = b2f(pkt.UDP != nil)
+			case "is_icmp":
+				v = b2f(pkt.ICMP != nil)
+			case "dns_qr":
+				if pkt.DNS != nil && pkt.DNS.QR {
+					v = 1
+				}
+			case "dns_qd":
+				if pkt.DNS != nil {
+					v = float64(pkt.DNS.QDCount)
+				}
+			case "is_http":
+				v = b2f(pkt.HTTP != nil)
+			case "http_is_req":
+				if pkt.HTTP != nil && pkt.HTTP.IsRequest {
+					v = 1
+				}
+			case "http_status":
+				if pkt.HTTP != nil {
+					v = float64(pkt.HTTP.Status)
+				}
+			case "http_path_len":
+				if pkt.HTTP != nil {
+					v = float64(len(pkt.HTTP.Path))
+				}
+			case "http_body_len":
+				if pkt.HTTP != nil && pkt.HTTP.ContentLength > 0 {
+					v = float64(pkt.HTTP.ContentLength)
+				}
+			case "is_mqtt":
+				v = b2f(pkt.MQTT != nil)
+			case "mqtt_type":
+				if pkt.MQTT != nil {
+					v = float64(pkt.MQTT.Type)
+				}
+			case "mqtt_qos":
+				if pkt.MQTT != nil {
+					v = float64(pkt.MQTT.QoS)
+				}
+			case "mqtt_topic_len":
+				if pkt.MQTT != nil {
+					v = float64(len(pkt.MQTT.Topic))
+				}
+			}
+			numeric[f][i] = v
+		}
+		for f := range strs {
+			var v string
+			switch f {
+			case "src_ip":
+				if a := pkt.SrcIP(); a.IsValid() {
+					v = a.String()
+				} else if pkt.Dot11 != nil {
+					v = pkt.Dot11.Addr2.String() // MAC stands in on 802.11
+				}
+			case "dst_ip":
+				if a := pkt.DstIP(); a.IsValid() {
+					v = a.String()
+				} else if pkt.Dot11 != nil {
+					v = pkt.Dot11.Addr1.String()
+				}
+			case "src_mac":
+				if pkt.Eth != nil {
+					v = pkt.Eth.Src.String()
+				} else if pkt.Dot11 != nil {
+					v = pkt.Dot11.Addr2.String()
+				}
+			case "dst_mac":
+				if pkt.Eth != nil {
+					v = pkt.Eth.Dst.String()
+				} else if pkt.Dot11 != nil {
+					v = pkt.Dot11.Addr1.String()
+				}
+			}
+			strs[f][i] = v
+		}
+		prevTs = t
+	}
+	// Preserve the requested order.
+	for _, f := range fields {
+		if col, ok := numeric[f]; ok {
+			fr.AddF(f, col)
+		} else {
+			fr.AddS(f, strs[f])
+		}
+	}
+	return fr, nil
+}
+
+func flagVal(p *netpkt.Packet, f uint8) float64 {
+	if p.TCP != nil && p.TCP.HasFlag(f) {
+		return 1
+	}
+	return 0
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// newPacketFrame builds an empty frame with packet-unit metadata and
+// labels copied from the dataset.
+func newPacketFrame(ds *dataset.Labeled) *Frame {
+	n := len(ds.Packets)
+	fr := NewFrame(n)
+	fr.Unit = UnitPacket
+	fr.UnitIdx = make([]int, n)
+	for i := range fr.UnitIdx {
+		fr.UnitIdx[i] = i
+	}
+	fr.Labels = append([]int(nil), ds.Labels...)
+	fr.Attacks = append([]string(nil), ds.Attacks...)
+	return fr
+}
+
+func opNPrint(_ *opCtx, in []Value, p params) (Value, error) {
+	pk, err := asPackets(in[0])
+	if err != nil {
+		return nil, err
+	}
+	var cfg features.NPrintConfig
+	variant := p.str("variant", "all")
+	switch variant {
+	case "all":
+		cfg = features.NPrintAll
+	case "tcp_udp_ipv4":
+		cfg = features.NPrintTCPUDPIPv4
+	case "tcp_udp_ipv4_payload":
+		cfg = features.NPrintWithPayload
+	case "tcp_icmp_ipv4":
+		cfg = features.NPrintTCPICMPIPv4
+	default:
+		return nil, fmt.Errorf("nprint: unknown variant %q", variant)
+	}
+	ds := pk.DS
+	fr := newPacketFrame(ds)
+	w := cfg.Width()
+	cols := make([][]float64, w)
+	for j := range cols {
+		cols[j] = make([]float64, fr.N)
+	}
+	for i, pkt := range ds.Packets {
+		v := cfg.Vector(pkt)
+		for j, b := range v {
+			cols[j][i] = b
+		}
+	}
+	for j := range cols {
+		fr.AddF(fmt.Sprintf("bit_%d", j), cols[j])
+	}
+	return fr, nil
+}
+
+// kitsune groupings: per-source stream, per-channel (src->dst) stream and
+// per-socket (five-tuple) stream, each at several decay rates.
+func opKitsuneFeatures(_ *opCtx, in []Value, p params) (Value, error) {
+	pk, err := asPackets(in[0])
+	if err != nil {
+		return nil, err
+	}
+	lambdas := []float64{1, 0.1, 0.01}
+	if ls := p.anyList("lambdas"); ls != nil {
+		lambdas = lambdas[:0]
+		for _, l := range ls {
+			if f, ok := l.(float64); ok {
+				lambdas = append(lambdas, f)
+			}
+		}
+	}
+	ds := pk.DS
+	fr := newPacketFrame(ds)
+	type streams struct {
+		src, chanl, sock *features.IncStat
+		jitter           *features.IncStat
+		two              *features.IncStat2D
+	}
+	nFeat := len(lambdas) * 13
+	cols := make([][]float64, nFeat)
+	for j := range cols {
+		cols[j] = make([]float64, fr.N)
+	}
+	perLambda := make([]map[string]*streams, len(lambdas))
+	lastSeen := make([]map[string]float64, len(lambdas))
+	for li := range lambdas {
+		perLambda[li] = map[string]*streams{}
+		lastSeen[li] = map[string]float64{}
+	}
+	for i, pkt := range ds.Packets {
+		t := float64(pkt.Ts.UnixNano()) / 1e9
+		size := float64(pkt.WireLen())
+		srcKey, chanKey, sockKey := kitsuneKeys(pkt)
+		for li, lam := range lambdas {
+			st := perLambda[li][srcKey]
+			if st == nil {
+				st = &streams{
+					src:    features.NewIncStat(lam),
+					chanl:  features.NewIncStat(lam),
+					sock:   features.NewIncStat(lam),
+					jitter: features.NewIncStat(lam),
+					two:    features.NewIncStat2D(lam),
+				}
+				perLambda[li][srcKey] = st
+			}
+			// Jitter: inter-arrival within the channel.
+			if last, ok := lastSeen[li][chanKey]; ok {
+				st.jitter.Insert(t-last, t)
+			}
+			lastSeen[li][chanKey] = t
+			st.src.Insert(size, t)
+			// Channel/socket stats live in dedicated stream objects keyed
+			// by their own keys; reuse the map with prefixed keys.
+			cst := perLambda[li]["c|"+chanKey]
+			if cst == nil {
+				cst = &streams{src: features.NewIncStat(lam), two: features.NewIncStat2D(lam)}
+				perLambda[li]["c|"+chanKey] = cst
+			}
+			cst.src.Insert(size, t)
+			cst.two.Insert(size, float64(len(pkt.Payload)), t)
+			sst := perLambda[li]["s|"+sockKey]
+			if sst == nil {
+				sst = &streams{src: features.NewIncStat(lam)}
+				perLambda[li]["s|"+sockKey] = sst
+			}
+			sst.src.Insert(size, t)
+
+			base := li * 13
+			cols[base+0][i] = st.src.Weight()
+			cols[base+1][i] = st.src.Mean()
+			cols[base+2][i] = st.src.Std()
+			cols[base+3][i] = cst.src.Weight()
+			cols[base+4][i] = cst.src.Mean()
+			cols[base+5][i] = cst.src.Std()
+			cols[base+6][i] = sst.src.Weight()
+			cols[base+7][i] = sst.src.Mean()
+			cols[base+8][i] = sst.src.Std()
+			cols[base+9][i] = st.jitter.Mean()
+			cols[base+10][i] = st.jitter.Std()
+			cols[base+11][i] = cst.two.Magnitude()
+			cols[base+12][i] = cst.two.Cov()
+		}
+	}
+	names := []string{"srcw", "srcmean", "srcstd", "chw", "chmean", "chstd", "skw", "skmean", "skstd", "jitmean", "jitstd", "mag", "cov"}
+	for li, lam := range lambdas {
+		for k, nm := range names {
+			fr.AddF(fmt.Sprintf("k_%g_%s", lam, nm), cols[li*13+k])
+		}
+	}
+	return fr, nil
+}
+
+// kitsuneKeys derives grouping keys, falling back to MACs on 802.11
+// (Kitsune is the one algorithm the paper can run on AWID3).
+func kitsuneKeys(p *netpkt.Packet) (src, channel, socket string) {
+	if a := p.SrcIP(); a.IsValid() {
+		src = a.String()
+		channel = src + ">" + p.DstIP().String()
+		if ft, ok := p.Tuple(); ok {
+			socket = ft.String()
+		} else {
+			socket = channel
+		}
+		return src, channel, socket
+	}
+	if p.Dot11 != nil {
+		src = p.Dot11.Addr2.String()
+		channel = src + ">" + p.Dot11.Addr1.String()
+		return src, channel, channel
+	}
+	if p.Eth != nil {
+		src = p.Eth.Src.String()
+		channel = src + ">" + p.Eth.Dst.String()
+		return src, channel, channel
+	}
+	return "?", "?", "?"
+}
+
+func opDot11Features(_ *opCtx, in []Value, p params) (Value, error) {
+	pk, err := asPackets(in[0])
+	if err != nil {
+		return nil, err
+	}
+	ds := pk.DS
+	fr := newPacketFrame(ds)
+	n := fr.N
+	lam := p.f64("lambda", 0.5)
+	subtype := make([]float64, n)
+	mgmt := make([]float64, n)
+	retry := make([]float64, n)
+	duration := make([]float64, n)
+	rate := make([]float64, n)
+	deauthRate := make([]float64, n)
+	plen := make([]float64, n)
+	perTx := map[string]*features.IncStat{}
+	perTxDeauth := map[string]*features.IncStat{}
+	for i, pkt := range ds.Packets {
+		d := pkt.Dot11
+		if d == nil {
+			continue
+		}
+		t := float64(pkt.Ts.UnixNano()) / 1e9
+		subtype[i] = float64(d.Subtype)
+		mgmt[i] = b2f(d.Subtype.IsManagement())
+		retry[i] = b2f(d.Retry)
+		duration[i] = float64(d.Duration)
+		plen[i] = float64(len(pkt.Payload))
+		key := d.Addr2.String()
+		st := perTx[key]
+		if st == nil {
+			st = features.NewIncStat(lam)
+			perTx[key] = st
+		}
+		st.Insert(1, t)
+		rate[i] = st.Weight()
+		dst := perTxDeauth[key]
+		if dst == nil {
+			dst = features.NewIncStat(lam)
+			perTxDeauth[key] = dst
+		}
+		if d.Subtype == netpkt.Dot11Deauth || d.Subtype == netpkt.Dot11Disassoc {
+			dst.Insert(1, t)
+		}
+		deauthRate[i] = dst.Weight()
+	}
+	fr.AddF("subtype", subtype)
+	fr.AddF("is_mgmt", mgmt)
+	fr.AddF("retry", retry)
+	fr.AddF("duration", duration)
+	fr.AddF("tx_rate", rate)
+	fr.AddF("tx_deauth_rate", deauthRate)
+	fr.AddF("payload_len", plen)
+	return fr, nil
+}

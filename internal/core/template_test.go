@@ -1,0 +1,47 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadPipelineFromRepoTemplate(t *testing.T) {
+	// The template shipped with the custom-algorithm example must parse
+	// and type-check through the public loader.
+	path := filepath.Join("..", "..", "examples", "custom-algorithm", "my-detector.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Skipf("template not present: %v", err)
+	}
+	p, err := LoadPipeline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "my-detector" || len(p.Ops) != 7 {
+		t.Fatalf("parsed %q with %d ops", p.Name, len(p.Ops))
+	}
+}
+
+func TestLoadPipelineMissingFile(t *testing.T) {
+	if _, err := LoadPipeline("/no/such/file.json"); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	p, err := ParsePipeline([]byte(fig4Template))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalPipeline(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParsePipeline(data)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if q.Name != p.Name || len(q.Ops) != len(p.Ops) {
+		t.Fatal("round trip changed the pipeline")
+	}
+}

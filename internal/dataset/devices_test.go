@@ -1,0 +1,62 @@
+package dataset
+
+import "testing"
+
+func TestDevicesMapPopulated(t *testing.T) {
+	spec, _ := Get("F1")
+	ds := spec.Generate(0.2)
+	if len(ds.Devices) < 5 {
+		t.Fatalf("devices map has %d entries, want >= 5", len(ds.Devices))
+	}
+	kinds := map[string]bool{}
+	for _, k := range ds.Devices {
+		kinds[k] = true
+	}
+	for _, want := range []string{"camera", "plug", "hub"} {
+		if !kinds[want] {
+			t.Errorf("missing device kind %q in F1", want)
+		}
+	}
+}
+
+func TestDeviceClassTask(t *testing.T) {
+	spec, _ := Get("F1")
+	ds := spec.Generate(0.2)
+	classes, y := DeviceClassTask(ds)
+	if len(y) != len(ds.Packets) {
+		t.Fatalf("labels %d != packets %d", len(y), len(ds.Packets))
+	}
+	if classes[0] != "external" {
+		t.Fatalf("class 0 = %q, want external", classes[0])
+	}
+	counts := make([]int, len(classes))
+	for _, c := range y {
+		if c < 0 || c >= len(classes) {
+			t.Fatalf("class index %d out of range", c)
+		}
+		counts[c]++
+	}
+	// Every class present in the registry mix should have traffic, and
+	// external endpoints (cloud, DNS, attacker) must appear too.
+	for c, n := range counts {
+		if n == 0 {
+			t.Errorf("class %q has no packets", classes[c])
+		}
+	}
+	if counts[0] == 0 {
+		t.Error("no external packets — responses from cloud should be external")
+	}
+}
+
+func TestDeviceClassTaskMergePreservesDevices(t *testing.T) {
+	a, _ := Get("F0")
+	b, _ := Get("F1")
+	m := Merge("ab", 0.3, a.Generate(0.2), b.Generate(0.2))
+	if len(m.Devices) == 0 {
+		t.Fatal("merge dropped the devices map")
+	}
+	classes, y := DeviceClassTask(m)
+	if len(classes) < 3 || len(y) != len(m.Packets) {
+		t.Fatalf("classes %v, labels %d", classes, len(y))
+	}
+}

@@ -1,0 +1,112 @@
+package features
+
+import "lumen/internal/netpkt"
+
+// NPrintConfig selects which protocol sections the nprint representation
+// includes — algorithms A01–A04 are four such configurations.
+type NPrintConfig struct {
+	IPv4    bool
+	TCP     bool
+	UDP     bool
+	ICMP    bool
+	Payload int // number of payload bytes to include (0 = none)
+}
+
+// Bit section widths in bits, mirroring the nprint tool's fixed layout:
+// every packet maps to the same positions whether or not a header is
+// present; absent headers encode as -1.
+const (
+	nprintIPv4Bits = 20 * 8
+	nprintTCPBits  = 20 * 8
+	nprintUDPBits  = 8 * 8
+	nprintICMPBits = 8 * 8
+)
+
+// Width returns the feature-vector length for this configuration.
+func (c NPrintConfig) Width() int {
+	n := 0
+	if c.IPv4 {
+		n += nprintIPv4Bits
+	}
+	if c.TCP {
+		n += nprintTCPBits
+	}
+	if c.UDP {
+		n += nprintUDPBits
+	}
+	if c.ICMP {
+		n += nprintICMPBits
+	}
+	n += c.Payload * 8
+	return n
+}
+
+// Vector renders one packet to its nprint bit vector: 1/0 for present
+// header bits, -1 for bits of absent sections.
+func (c NPrintConfig) Vector(p *netpkt.Packet) []float64 {
+	out := make([]float64, 0, c.Width())
+	raw := p.Data
+	// Locate header byte ranges inside the raw frame.
+	var ipStart, l4Start int = -1, -1
+	if p.Link == netpkt.LinkEthernet && len(raw) >= 14 {
+		if p.IPv4 != nil {
+			ipStart = 14
+			ihl := 20
+			if len(raw) > 14 {
+				ihl = int(raw[14]&0x0f) * 4
+			}
+			l4Start = 14 + ihl
+		}
+	}
+	if c.IPv4 {
+		out = appendBits(out, raw, ipStart, 20, p.IPv4 != nil)
+	}
+	if c.TCP {
+		out = appendBits(out, raw, l4Start, 20, p.TCP != nil)
+	}
+	if c.UDP {
+		out = appendBits(out, raw, l4Start, 8, p.UDP != nil)
+	}
+	if c.ICMP {
+		out = appendBits(out, raw, l4Start, 8, p.ICMP != nil)
+	}
+	if c.Payload > 0 {
+		payStart := -1
+		if len(p.Payload) > 0 && len(raw) >= len(p.Payload) {
+			payStart = len(raw) - len(p.Payload)
+		}
+		out = appendBits(out, raw, payStart, c.Payload, payStart >= 0)
+	}
+	return out
+}
+
+// appendBits appends nBytes*8 bit features from raw[start:]; absent or
+// truncated regions fill with -1.
+func appendBits(out []float64, raw []byte, start, nBytes int, present bool) []float64 {
+	for i := 0; i < nBytes; i++ {
+		idx := start + i
+		if !present || start < 0 || idx >= len(raw) {
+			for b := 0; b < 8; b++ {
+				out = append(out, -1)
+			}
+			continue
+		}
+		v := raw[idx]
+		for b := 7; b >= 0; b-- {
+			out = append(out, float64((v>>uint(b))&1))
+		}
+	}
+	return out
+}
+
+// Standard nprint variants as used in the paper's Table 2.
+var (
+	// NPrintAll is A01: every supported section plus 10 payload bytes.
+	NPrintAll = NPrintConfig{IPv4: true, TCP: true, UDP: true, ICMP: true, Payload: 10}
+	// NPrintTCPUDPIPv4 is A02.
+	NPrintTCPUDPIPv4 = NPrintConfig{IPv4: true, TCP: true, UDP: true}
+	// NPrintWithPayload is A03: tcp+udp+ipv4+payload.
+	NPrintWithPayload = NPrintConfig{IPv4: true, TCP: true, UDP: true, Payload: 10}
+	// NPrintTCPICMPIPv4 is A04.
+	NPrintTCPICMPIPv4 = NPrintConfig{IPv4: true, TCP: true, ICMP: true}
+)

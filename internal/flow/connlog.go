@@ -1,0 +1,93 @@
+package flow
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"time"
+
+	"lumen/internal/netpkt"
+)
+
+// WriteConnLog renders connections in Zeek conn.log TSV form (the format
+// the paper's dataset preprocessing is built around: "we use Zeek to
+// split large packet capture into corresponding flows"). Columns follow
+// Zeek's defaults: ts, uid, id.orig_h, id.orig_p, id.resp_h, id.resp_p,
+// proto, duration, orig_bytes, resp_bytes, conn_state, orig_pkts,
+// resp_pkts.
+func WriteConnLog(w io.Writer, conns []*Connection) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "#fields\tts\tuid\tid.orig_h\tid.orig_p\tid.resp_h\tid.resp_p\tproto\tduration\torig_bytes\tresp_bytes\tconn_state\torig_pkts\tresp_pkts"); err != nil {
+		return err
+	}
+	for i, c := range conns {
+		proto := protoString(c.Tuple.Proto)
+		_, err := fmt.Fprintf(bw, "%.6f\tC%08d\t%s\t%d\t%s\t%d\t%s\t%.6f\t%d\t%d\t%s\t%d\t%d\n",
+			float64(c.First.UnixNano())/1e9,
+			i,
+			c.Tuple.SrcIP, c.Tuple.SrcPort,
+			c.Tuple.DstIP, c.Tuple.DstPort,
+			proto,
+			c.Duration().Seconds(),
+			c.OrigBytes, c.RespBytes,
+			c.State,
+			len(c.OrigIdx), len(c.RespIdx),
+		)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func protoString(p uint8) string {
+	switch p {
+	case netpkt.ProtoTCP:
+		return "tcp"
+	case netpkt.ProtoUDP:
+		return "udp"
+	case netpkt.ProtoICMP:
+		return "icmp"
+	default:
+		return fmt.Sprintf("proto-%d", p)
+	}
+}
+
+// MatchByTime pairs each connection in a with the connection in b whose
+// start time is closest within tolerance — the CTU preprocessing step
+// ("matched our Zeek-flows with the labeled Zeek-flows provided in the
+// dataset based on flow timestamps"). It returns, for every connection
+// of a, the index of its match in b or -1.
+func MatchByTime(a, b []*Connection, tolerance time.Duration) []int {
+	out := make([]int, len(a))
+	for i := range out {
+		out[i] = -1
+	}
+	// b is time-sorted (Connections returns sorted flows): binary scan.
+	for i, ca := range a {
+		lo, hi := 0, len(b)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if b[mid].First.Before(ca.First) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		best, bestD := -1, tolerance
+		for _, j := range []int{lo - 1, lo} {
+			if j < 0 || j >= len(b) {
+				continue
+			}
+			d := b[j].First.Sub(ca.First)
+			if d < 0 {
+				d = -d
+			}
+			if d <= bestD {
+				best, bestD = j, d
+			}
+		}
+		out[i] = best
+	}
+	return out
+}

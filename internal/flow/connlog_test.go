@@ -1,0 +1,58 @@
+package flow
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"lumen/internal/netpkt"
+)
+
+func TestWriteConnLog(t *testing.T) {
+	pkts := handshake(t, 0)
+	conns := Connections(pkts, Options{})
+	var buf bytes.Buffer
+	if err := WriteConnLog(&buf, conns); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+len(conns) {
+		t.Fatalf("got %d lines, want header + %d rows", len(lines), len(conns))
+	}
+	if !strings.HasPrefix(lines[0], "#fields\tts\tuid") {
+		t.Errorf("header = %q", lines[0])
+	}
+	row := lines[1]
+	for _, want := range []string{"10.0.0.1", "1234", "10.0.0.2", "80", "tcp", "SF"} {
+		if !strings.Contains(row, want) {
+			t.Errorf("row missing %q: %s", want, row)
+		}
+	}
+}
+
+func TestProtoString(t *testing.T) {
+	if protoString(netpkt.ProtoTCP) != "tcp" || protoString(netpkt.ProtoUDP) != "udp" ||
+		protoString(netpkt.ProtoICMP) != "icmp" || protoString(42) != "proto-42" {
+		t.Error("protoString mapping wrong")
+	}
+}
+
+func TestMatchByTime(t *testing.T) {
+	mk := func(sec float64) *Connection {
+		return &Connection{First: time.Unix(0, int64(sec*1e9))}
+	}
+	a := []*Connection{mk(1.0), mk(5.0), mk(100)}
+	b := []*Connection{mk(0.9), mk(5.2), mk(50)}
+	got := MatchByTime(a, b, 500*time.Millisecond)
+	if got[0] != 0 {
+		t.Errorf("a[0] matched %d, want 0", got[0])
+	}
+	if got[1] != 1 {
+		t.Errorf("a[1] matched %d, want 1", got[1])
+	}
+	if got[2] != -1 {
+		t.Errorf("a[2] matched %d, want -1 (outside tolerance)", got[2])
+	}
+}

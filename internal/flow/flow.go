@@ -1,0 +1,221 @@
+// Package flow assembles packet streams into unidirectional flows and
+// bidirectional connections — the role Zeek's flow extraction plays in the
+// original Lumen (the paper splits every pcap into Zeek flows before
+// labelling). Flows are keyed by five-tuple, split on idle timeouts, and
+// connections carry Zeek-style state summaries (S0/SF/REJ/RSTO/OTH).
+package flow
+
+import (
+	"sort"
+	"time"
+
+	"lumen/internal/netpkt"
+)
+
+// Uniflow is a set of same-direction packets sharing a five-tuple, within
+// one timeout-delimited episode.
+type Uniflow struct {
+	Tuple netpkt.FiveTuple
+	// PacketIdx indexes into the packet slice given to Assemble, in time
+	// order. Keeping indices (not copies) lets label propagation work in
+	// both directions.
+	PacketIdx []int
+	First     time.Time
+	Last      time.Time
+	Bytes     int
+	Payload   int // application payload bytes
+}
+
+// Duration returns Last-First.
+func (u *Uniflow) Duration() time.Duration { return u.Last.Sub(u.First) }
+
+// ConnState summarizes a TCP connection lifecycle, following Zeek's
+// conn_state vocabulary.
+type ConnState string
+
+// Connection states.
+const (
+	StateS0   ConnState = "S0"   // SYN seen, no reply
+	StateS1   ConnState = "S1"   // handshake complete, not closed
+	StateSF   ConnState = "SF"   // normal establish + close
+	StateREJ  ConnState = "REJ"  // SYN answered by RST
+	StateRSTO ConnState = "RSTO" // established, originator aborted
+	StateRSTR ConnState = "RSTR" // established, responder aborted
+	StateOTH  ConnState = "OTH"  // midstream or non-TCP
+)
+
+// Connection is a bidirectional flow: the originator direction is the one
+// whose packet appeared first.
+type Connection struct {
+	// Tuple is oriented originator → responder.
+	Tuple netpkt.FiveTuple
+	// OrigIdx and RespIdx index packets of each direction, in time order.
+	OrigIdx []int
+	RespIdx []int
+	First   time.Time
+	Last    time.Time
+	// OrigBytes and RespBytes are wire bytes per direction.
+	OrigBytes, RespBytes int
+	// OrigPayload and RespPayload are application bytes per direction.
+	OrigPayload, RespPayload int
+	State                    ConnState
+
+	sawSYN, sawSYNACK, sawOrigFIN, sawRespFIN bool
+	sawOrigRST, sawRespRST                    bool
+}
+
+// Duration returns Last-First.
+func (c *Connection) Duration() time.Duration { return c.Last.Sub(c.First) }
+
+// Packets returns all packet indices of the connection in time order.
+func (c *Connection) Packets() []int {
+	out := make([]int, 0, len(c.OrigIdx)+len(c.RespIdx))
+	out = append(out, c.OrigIdx...)
+	out = append(out, c.RespIdx...)
+	sort.Ints(out)
+	return out
+}
+
+// Options configures assembly.
+type Options struct {
+	// IdleTimeout splits a flow when the gap between packets exceeds it;
+	// 0 means 64s (Zeek's default inactivity interval for TCP is of this
+	// order).
+	IdleTimeout time.Duration
+}
+
+func (o Options) idle() time.Duration {
+	if o.IdleTimeout == 0 {
+		return 64 * time.Second
+	}
+	return o.IdleTimeout
+}
+
+// Uniflows groups packets into unidirectional flows. Packets without a
+// five-tuple (ARP, 802.11 management) are skipped. Input packets must be
+// in non-decreasing time order (captures are).
+func Uniflows(pkts []*netpkt.Packet, opts Options) []*Uniflow {
+	idle := opts.idle()
+	active := make(map[netpkt.FiveTuple]*Uniflow)
+	var done []*Uniflow
+	for i, p := range pkts {
+		ft, ok := p.Tuple()
+		if !ok {
+			continue
+		}
+		f := active[ft]
+		if f != nil && p.Ts.Sub(f.Last) > idle {
+			done = append(done, f)
+			f = nil
+		}
+		if f == nil {
+			f = &Uniflow{Tuple: ft, First: p.Ts}
+			active[ft] = f
+		}
+		f.PacketIdx = append(f.PacketIdx, i)
+		f.Last = p.Ts
+		f.Bytes += p.WireLen()
+		f.Payload += len(p.Payload)
+	}
+	for _, f := range active {
+		done = append(done, f)
+	}
+	sort.Slice(done, func(a, b int) bool {
+		if !done[a].First.Equal(done[b].First) {
+			return done[a].First.Before(done[b].First)
+		}
+		return done[a].Tuple.String() < done[b].Tuple.String()
+	})
+	return done
+}
+
+// Connections groups packets into bidirectional connections with
+// Zeek-style state tracking.
+func Connections(pkts []*netpkt.Packet, opts Options) []*Connection {
+	idle := opts.idle()
+	active := make(map[netpkt.FiveTuple]*Connection)
+	var done []*Connection
+	for i, p := range pkts {
+		ft, ok := p.Tuple()
+		if !ok {
+			continue
+		}
+		key := ft.Canonical()
+		c := active[key]
+		if c != nil && p.Ts.Sub(c.Last) > idle {
+			c.finalize()
+			done = append(done, c)
+			c = nil
+		}
+		if c == nil {
+			c = &Connection{Tuple: ft, First: p.Ts} // first packet defines originator
+			active[key] = c
+		}
+		fromOrig := ft == c.Tuple
+		if fromOrig {
+			c.OrigIdx = append(c.OrigIdx, i)
+			c.OrigBytes += p.WireLen()
+			c.OrigPayload += len(p.Payload)
+		} else {
+			c.RespIdx = append(c.RespIdx, i)
+			c.RespBytes += p.WireLen()
+			c.RespPayload += len(p.Payload)
+		}
+		c.Last = p.Ts
+		if t := p.TCP; t != nil {
+			switch {
+			case fromOrig && t.HasFlag(netpkt.FlagSYN) && !t.HasFlag(netpkt.FlagACK):
+				c.sawSYN = true
+			case !fromOrig && t.HasFlag(netpkt.FlagSYN|netpkt.FlagACK):
+				c.sawSYNACK = true
+			}
+			if t.HasFlag(netpkt.FlagFIN) {
+				if fromOrig {
+					c.sawOrigFIN = true
+				} else {
+					c.sawRespFIN = true
+				}
+			}
+			if t.HasFlag(netpkt.FlagRST) {
+				if fromOrig {
+					c.sawOrigRST = true
+				} else {
+					c.sawRespRST = true
+				}
+			}
+		}
+	}
+	for _, c := range active {
+		c.finalize()
+		done = append(done, c)
+	}
+	sort.Slice(done, func(a, b int) bool {
+		if !done[a].First.Equal(done[b].First) {
+			return done[a].First.Before(done[b].First)
+		}
+		return done[a].Tuple.String() < done[b].Tuple.String()
+	})
+	return done
+}
+
+// finalize assigns the Zeek-style connection state.
+func (c *Connection) finalize() {
+	switch {
+	case c.Tuple.Proto != netpkt.ProtoTCP:
+		c.State = StateOTH
+	case c.sawSYN && c.sawRespRST && !c.sawSYNACK:
+		c.State = StateREJ
+	case c.sawSYN && !c.sawSYNACK:
+		c.State = StateS0
+	case c.sawSYN && c.sawSYNACK && c.sawOrigFIN && c.sawRespFIN:
+		c.State = StateSF
+	case c.sawSYN && c.sawSYNACK && c.sawOrigRST:
+		c.State = StateRSTO
+	case c.sawSYN && c.sawSYNACK && c.sawRespRST:
+		c.State = StateRSTR
+	case c.sawSYN && c.sawSYNACK:
+		c.State = StateS1
+	default:
+		c.State = StateOTH
+	}
+}

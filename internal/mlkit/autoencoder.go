@@ -1,0 +1,92 @@
+package mlkit
+
+import "math"
+
+// Autoencoder is an MLP trained to reconstruct its input; Score reports
+// per-row reconstruction RMSE, the classical anomaly criterion used by the
+// Nokia detector (A11) and early-detection model (A12). Inputs should be
+// scaled into [0,1] (the sigmoid output range).
+type Autoencoder struct {
+	// Hidden lists the encoder widths down to the bottleneck; the decoder
+	// mirrors them. Empty means a single bottleneck of max(1, d*3/4).
+	Hidden []int
+	// Epochs, LR, Seed configure the underlying MLP.
+	Epochs int
+	LR     float64
+	Seed   int64
+
+	net *MLP
+	d   int
+}
+
+// Fit trains the autoencoder to reproduce X.
+func (a *Autoencoder) Fit(X [][]float64) error {
+	d, err := checkXY(X, nil)
+	if err != nil {
+		return err
+	}
+	a.d = d
+	hidden := a.Hidden
+	if len(hidden) == 0 {
+		b := d * 3 / 4
+		if b < 1 {
+			b = 1
+		}
+		hidden = []int{b}
+	}
+	sizes := []int{d}
+	sizes = append(sizes, hidden...)
+	for i := len(hidden) - 2; i >= 0; i-- {
+		sizes = append(sizes, hidden[i])
+	}
+	sizes = append(sizes, d)
+	a.net = &MLP{Sizes: sizes, Act: ActSigmoid, Epochs: a.Epochs, LR: a.LR, Seed: a.Seed}
+	return a.net.FitTargets(X, X)
+}
+
+// Score returns per-row reconstruction RMSE.
+func (a *Autoencoder) Score(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, row := range X {
+		out[i] = a.ScoreOne(row)
+	}
+	return out
+}
+
+// ScoreOne returns the reconstruction RMSE of a single row.
+func (a *Autoencoder) ScoreOne(row []float64) float64 {
+	acts := a.net.Forward(row)
+	rec := acts[len(acts)-1]
+	var s float64
+	for j := range row {
+		e := row[j] - rec[j]
+		s += e * e
+	}
+	return math.Sqrt(s / float64(len(row)))
+}
+
+// TrainOne performs one online training step on a single row and returns
+// its pre-update RMSE — Kitsune trains this way, packet by packet.
+func (a *Autoencoder) TrainOne(row []float64) float64 {
+	if a.net == nil {
+		a.d = len(row)
+		hidden := a.Hidden
+		if len(hidden) == 0 {
+			b := a.d * 3 / 4
+			if b < 1 {
+				b = 1
+			}
+			hidden = []int{b}
+		}
+		sizes := []int{a.d}
+		sizes = append(sizes, hidden...)
+		for i := len(hidden) - 2; i >= 0; i-- {
+			sizes = append(sizes, hidden[i])
+		}
+		sizes = append(sizes, a.d)
+		a.net = &MLP{Sizes: sizes, Act: ActSigmoid, Epochs: a.Epochs, LR: a.LR, Seed: a.Seed}
+		a.net.Init()
+	}
+	sq := a.net.TrainStep(row, row)
+	return math.Sqrt(sq / float64(len(row)))
+}

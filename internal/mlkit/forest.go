@@ -1,0 +1,153 @@
+package mlkit
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// RandomForest is a bagged ensemble of CART trees with per-split feature
+// subsampling (sqrt(d) by default), trained in parallel.
+type RandomForest struct {
+	// NTrees is the ensemble size; 0 means 50.
+	NTrees int
+	// MaxDepth per tree; 0 means 24.
+	MaxDepth int
+	// MinSamplesLeaf per tree; 0 means 1.
+	MinSamplesLeaf int
+	// MaxFeatures per split; 0 means round(sqrt(d)).
+	MaxFeatures int
+	// Seed drives bootstrap sampling and per-tree seeds.
+	Seed int64
+
+	trees   []*DecisionTree
+	classes int
+}
+
+func (f *RandomForest) nTrees() int {
+	if f.NTrees == 0 {
+		return 50
+	}
+	return f.NTrees
+}
+
+// Fit trains the forest; trees are grown concurrently across CPUs.
+func (f *RandomForest) Fit(X [][]float64, y []int) error {
+	d, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	f.classes = 0
+	for _, label := range y {
+		if label+1 > f.classes {
+			f.classes = label + 1
+		}
+	}
+	if f.classes < 2 {
+		f.classes = 2
+	}
+	maxFeat := f.MaxFeatures
+	if maxFeat == 0 {
+		maxFeat = int(math.Round(math.Sqrt(float64(d))))
+		if maxFeat < 1 {
+			maxFeat = 1
+		}
+	}
+	n := len(X)
+	f.trees = make([]*DecisionTree, f.nTrees())
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(f.trees) {
+		workers = len(f.trees)
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	errCh := make(chan error, len(f.trees))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range jobs {
+				rng := NewRNG(f.Seed + int64(ti)*7919)
+				bx := make([][]float64, n)
+				by := make([]int, n)
+				for i := 0; i < n; i++ {
+					j := rng.Intn(n)
+					bx[i] = X[j]
+					by[i] = y[j]
+				}
+				tree := &DecisionTree{
+					MaxDepth:       f.MaxDepth,
+					MinSamplesLeaf: f.MinSamplesLeaf,
+					MaxFeatures:    maxFeat,
+					Seed:           f.Seed + int64(ti)*104729,
+				}
+				if err := tree.Fit(bx, by); err != nil {
+					errCh <- err
+					return
+				}
+				f.trees[ti] = tree
+			}
+		}()
+	}
+	for ti := range f.trees {
+		jobs <- ti
+	}
+	close(jobs)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	return nil
+}
+
+// Predict returns the class with the highest mean leaf probability.
+func (f *RandomForest) Predict(X [][]float64) []int {
+	probs := f.classProba(X)
+	out := make([]int, len(X))
+	for i, p := range probs {
+		out[i] = ArgMax(p)
+	}
+	return out
+}
+
+// Proba returns the positive-class mean probability per row.
+func (f *RandomForest) Proba(X [][]float64) []float64 {
+	probs := f.classProba(X)
+	out := make([]float64, len(X))
+	for i, p := range probs {
+		if len(p) > 1 {
+			out[i] = p[1]
+		}
+	}
+	return out
+}
+
+func (f *RandomForest) classProba(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i := range out {
+		out[i] = make([]float64, f.classes)
+	}
+	if len(f.trees) == 0 {
+		return out
+	}
+	for _, tree := range f.trees {
+		tp := tree.ClassProba(X)
+		for i, p := range tp {
+			for j := range p {
+				if j < f.classes {
+					out[i][j] += p[j]
+				}
+			}
+		}
+	}
+	inv := 1 / float64(len(f.trees))
+	for i := range out {
+		for j := range out[i] {
+			out[i][j] *= inv
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package mlkit
+
+import "math"
+
+// GMM is a diagonal-covariance Gaussian mixture fitted by EM. As a
+// Detector it scores rows by negative log-likelihood, the density-based
+// anomaly criterion used by the "Nyström + GMM" algorithm (A08).
+type GMM struct {
+	// K mixture components; 0 means 4.
+	K int
+	// MaxIter EM iterations; 0 means 50.
+	MaxIter int
+	// Tol stops EM when the mean log-likelihood improves by less; 0 means 1e-4.
+	Tol float64
+	// Seed drives k-means initialization.
+	Seed int64
+
+	weights []float64
+	means   [][]float64
+	vars    [][]float64
+}
+
+func (g *GMM) kval() int {
+	if g.K == 0 {
+		return 4
+	}
+	return g.K
+}
+
+// Fit runs EM from a k-means initialization.
+func (g *GMM) Fit(X [][]float64) error {
+	d, err := checkXY(X, nil)
+	if err != nil {
+		return err
+	}
+	k := g.kval()
+	if k > len(X) {
+		k = len(X)
+	}
+	km := &KMeans{K: k, Seed: g.Seed}
+	if err := km.Fit(X); err != nil {
+		return err
+	}
+	assign := km.Assign(X)
+	g.weights = make([]float64, k)
+	g.means = make([][]float64, k)
+	g.vars = make([][]float64, k)
+	for c := 0; c < k; c++ {
+		g.means[c] = append([]float64(nil), km.Centers[c]...)
+		g.vars[c] = make([]float64, d)
+	}
+	counts := make([]float64, k)
+	for i, row := range X {
+		c := assign[i]
+		counts[c]++
+		for j, v := range row {
+			dv := v - g.means[c][j]
+			g.vars[c][j] += dv * dv
+		}
+	}
+	n := float64(len(X))
+	for c := 0; c < k; c++ {
+		g.weights[c] = math.Max(counts[c]/n, 1e-6)
+		for j := range g.vars[c] {
+			if counts[c] > 0 {
+				g.vars[c][j] /= counts[c]
+			}
+			if g.vars[c][j] < 1e-6 {
+				g.vars[c][j] = 1e-6
+			}
+		}
+	}
+
+	maxIter := g.MaxIter
+	if maxIter == 0 {
+		maxIter = 50
+	}
+	tol := g.Tol
+	if tol == 0 {
+		tol = 1e-4
+	}
+	resp := make([][]float64, len(X))
+	for i := range resp {
+		resp[i] = make([]float64, k)
+	}
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < maxIter; iter++ {
+		// E-step.
+		var ll float64
+		for i, row := range X {
+			lp := make([]float64, k)
+			for c := 0; c < k; c++ {
+				lp[c] = math.Log(g.weights[c]) + g.logGauss(row, c)
+			}
+			z := logSumExp(lp)
+			ll += z
+			for c := 0; c < k; c++ {
+				resp[i][c] = math.Exp(lp[c] - z)
+			}
+		}
+		ll /= n
+		if ll-prevLL < tol && iter > 0 {
+			break
+		}
+		prevLL = ll
+		// M-step.
+		for c := 0; c < k; c++ {
+			var rc float64
+			mean := make([]float64, d)
+			for i, row := range X {
+				r := resp[i][c]
+				rc += r
+				for j, v := range row {
+					mean[j] += r * v
+				}
+			}
+			if rc < 1e-9 {
+				continue
+			}
+			for j := range mean {
+				mean[j] /= rc
+			}
+			va := make([]float64, d)
+			for i, row := range X {
+				r := resp[i][c]
+				for j, v := range row {
+					dv := v - mean[j]
+					va[j] += r * dv * dv
+				}
+			}
+			for j := range va {
+				va[j] /= rc
+				if va[j] < 1e-6 {
+					va[j] = 1e-6
+				}
+			}
+			g.weights[c] = rc / n
+			g.means[c] = mean
+			g.vars[c] = va
+		}
+	}
+	return nil
+}
+
+func (g *GMM) logGauss(row []float64, c int) float64 {
+	var s float64
+	for j, v := range row {
+		va := g.vars[c][j]
+		dv := v - g.means[c][j]
+		s += -0.5*math.Log(2*math.Pi*va) - dv*dv/(2*va)
+	}
+	return s
+}
+
+// LogLikelihood returns the per-row mixture log density.
+func (g *GMM) LogLikelihood(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	lp := make([]float64, len(g.weights))
+	for i, row := range X {
+		for c := range g.weights {
+			lp[c] = math.Log(g.weights[c]) + g.logGauss(row, c)
+		}
+		out[i] = logSumExp(lp)
+	}
+	return out
+}
+
+// Score returns negative log-likelihood (higher = more anomalous).
+func (g *GMM) Score(X [][]float64) []float64 {
+	ll := g.LogLikelihood(X)
+	for i := range ll {
+		ll[i] = -ll[i]
+	}
+	return ll
+}

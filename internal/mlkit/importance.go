@@ -1,0 +1,75 @@
+package mlkit
+
+// PermutationImportance measures how much each feature contributes to a
+// fitted classifier: the drop in a metric when that feature's column is
+// shuffled. This implements the paper's §6 direction "understanding
+// relevant features for each attack type" in a model-agnostic way.
+//
+// clf must already be fitted. The returned slice has one importance per
+// feature (metric_baseline - metric_shuffled, averaged over repeats);
+// larger is more important, values near zero mean the model ignores the
+// feature.
+func PermutationImportance(clf Classifier, X [][]float64, y []int, repeats int, seed int64) ([]float64, error) {
+	d, err := checkXY(X, y)
+	if err != nil {
+		return nil, err
+	}
+	if repeats <= 0 {
+		repeats = 3
+	}
+	base := F1Score(y, clf.Predict(X))
+	imp := make([]float64, d)
+	rng := NewRNG(seed)
+	// Shuffle one column at a time on a working copy.
+	work := make([][]float64, len(X))
+	for i, row := range X {
+		work[i] = append([]float64(nil), row...)
+	}
+	col := make([]float64, len(X))
+	for j := 0; j < d; j++ {
+		var drop float64
+		for r := 0; r < repeats; r++ {
+			for i := range work {
+				col[i] = work[i][j]
+			}
+			perm := rng.Perm(len(work))
+			for i := range work {
+				work[i][j] = col[perm[i]]
+			}
+			drop += base - F1Score(y, clf.Predict(work))
+			// Restore the column.
+			for i := range work {
+				work[i][j] = col[i]
+			}
+		}
+		imp[j] = drop / float64(repeats)
+	}
+	return imp, nil
+}
+
+// TopFeatures pairs importances with names and returns the k largest.
+func TopFeatures(names []string, imp []float64, k int) []FeatureImportance {
+	out := make([]FeatureImportance, 0, len(imp))
+	for i, v := range imp {
+		name := ""
+		if i < len(names) {
+			name = names[i]
+		}
+		out = append(out, FeatureImportance{Name: name, Importance: v})
+	}
+	for i := 1; i < len(out); i++ { // insertion sort by importance desc
+		for j := i; j > 0 && out[j].Importance > out[j-1].Importance; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// FeatureImportance names one feature's permutation importance.
+type FeatureImportance struct {
+	Name       string
+	Importance float64
+}

@@ -1,0 +1,199 @@
+package mlkit
+
+import (
+	"math"
+	"sort"
+)
+
+// KitNET is the anomaly detector at the heart of Kitsune (Mirsky et al.,
+// NDSS'18; algorithm A06 in Lumen): an ensemble of small autoencoders, each
+// responsible for a cluster of correlated features, whose reconstruction
+// RMSEs feed an output autoencoder. The feature map is learned by
+// agglomerative clustering on feature-correlation distance, capped at
+// MaxAESize inputs per autoencoder.
+type KitNET struct {
+	// MaxAESize caps features per ensemble autoencoder; 0 means 10.
+	MaxAESize int
+	// GracePeriod is the number of leading rows used only to learn the
+	// feature map and normalization before training begins; 0 means
+	// min(len(X)/10, 1000) at Fit.
+	GracePeriod int
+	// Epochs over the training data for batch Fit; 0 means 10.
+	Epochs int
+	// LR for all autoencoders; 0 means 0.1.
+	LR float64
+	// Seed drives initialization.
+	Seed int64
+
+	clusters [][]int
+	ensemble []*Autoencoder
+	output   *Autoencoder
+	norm     *MinMaxScaler
+}
+
+// Fit learns the feature map from (a prefix of) X, then trains the ensemble
+// and output layers on min-max–scaled data.
+func (k *KitNET) Fit(X [][]float64) error {
+	if _, err := checkXY(X, nil); err != nil {
+		return err
+	}
+	grace := k.GracePeriod
+	if grace == 0 {
+		grace = len(X) / 10
+		if grace > 1000 {
+			grace = 1000
+		}
+	}
+	if grace < 2 {
+		grace = 2
+	}
+	if grace > len(X) {
+		grace = len(X)
+	}
+	k.clusters = clusterFeatures(X[:grace], k.maxAE())
+	k.norm = &MinMaxScaler{}
+	if err := k.norm.Fit(X); err != nil {
+		return err
+	}
+	Xs := k.norm.Transform(X)
+
+	lr := k.LR
+	if lr == 0 {
+		lr = 0.1
+	}
+	epochs := k.Epochs
+	if epochs == 0 {
+		epochs = 10
+	}
+	k.ensemble = make([]*Autoencoder, len(k.clusters))
+	for c, feats := range k.clusters {
+		b := len(feats) * 3 / 4
+		if b < 1 {
+			b = 1
+		}
+		k.ensemble[c] = &Autoencoder{Hidden: []int{b}, LR: lr, Seed: k.Seed + int64(c)}
+	}
+	ob := len(k.clusters) * 3 / 4
+	if ob < 1 {
+		ob = 1
+	}
+	k.output = &Autoencoder{Hidden: []int{ob}, LR: lr, Seed: k.Seed + 7919}
+
+	sub := make([]float64, 0, k.maxAE())
+	tail := make([]float64, len(k.clusters))
+	for e := 0; e < epochs; e++ {
+		for _, row := range Xs {
+			for c, feats := range k.clusters {
+				sub = sub[:0]
+				for _, f := range feats {
+					sub = append(sub, row[f])
+				}
+				tail[c] = clamp01(k.ensemble[c].TrainOne(sub))
+			}
+			k.output.TrainOne(tail)
+		}
+	}
+	return nil
+}
+
+func (k *KitNET) maxAE() int {
+	if k.MaxAESize == 0 {
+		return 10
+	}
+	return k.MaxAESize
+}
+
+// Score returns the output autoencoder's RMSE per row (higher = more
+// anomalous).
+func (k *KitNET) Score(X [][]float64) []float64 {
+	Xs := k.norm.Transform(X)
+	out := make([]float64, len(Xs))
+	sub := make([]float64, 0, k.maxAE())
+	tail := make([]float64, len(k.clusters))
+	for i, row := range Xs {
+		for c, feats := range k.clusters {
+			sub = sub[:0]
+			for _, f := range feats {
+				sub = append(sub, row[f])
+			}
+			tail[c] = clamp01(k.ensemble[c].ScoreOne(sub))
+		}
+		out[i] = k.output.ScoreOne(tail)
+	}
+	return out
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// clusterFeatures groups feature indices by complete-linkage agglomerative
+// clustering on correlation distance 1-|r|, splitting any cluster larger
+// than maxSize.
+func clusterFeatures(X [][]float64, maxSize int) [][]int {
+	d := len(X[0])
+	cols := make([][]float64, d)
+	for j := 0; j < d; j++ {
+		col := make([]float64, len(X))
+		for i, row := range X {
+			col[i] = row[j]
+		}
+		cols[j] = col
+	}
+	dist := make([][]float64, d)
+	for i := range dist {
+		dist[i] = make([]float64, d)
+		for j := range dist[i] {
+			if i == j {
+				continue
+			}
+			dist[i][j] = 1 - math.Abs(PearsonCorr(cols[i], cols[j]))
+		}
+	}
+	clusters := make([][]int, d)
+	for j := 0; j < d; j++ {
+		clusters[j] = []int{j}
+	}
+	// Complete-linkage merge until no pair both fits maxSize and has
+	// distance < 1 (i.e. some correlation).
+	for {
+		bestI, bestJ, bestD := -1, -1, math.Inf(1)
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				if len(clusters[i])+len(clusters[j]) > maxSize {
+					continue
+				}
+				var dd float64
+				for _, a := range clusters[i] {
+					for _, b := range clusters[j] {
+						if dist[a][b] > dd {
+							dd = dist[a][b]
+						}
+					}
+				}
+				if dd < bestD {
+					bestI, bestJ, bestD = i, j, dd
+				}
+			}
+		}
+		if bestI < 0 || bestD >= 0.999 {
+			break
+		}
+		clusters[bestI] = append(clusters[bestI], clusters[bestJ]...)
+		clusters = append(clusters[:bestJ], clusters[bestJ+1:]...)
+	}
+	for i := range clusters {
+		sort.Ints(clusters[i])
+	}
+	sort.Slice(clusters, func(a, b int) bool { return clusters[a][0] < clusters[b][0] })
+	return clusters
+}
+
+// Clusters exposes the learned feature map (for tests and introspection).
+func (k *KitNET) Clusters() [][]int { return k.clusters }

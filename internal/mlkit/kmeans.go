@@ -1,0 +1,131 @@
+package mlkit
+
+import "math"
+
+// KMeans clusters rows into K groups by Lloyd's algorithm with k-means++
+// initialization. It backs GMM initialization and Nyström landmark picking.
+type KMeans struct {
+	// K is the number of clusters; 0 means 8.
+	K int
+	// MaxIter bounds Lloyd iterations; 0 means 50.
+	MaxIter int
+	// Seed drives initialization.
+	Seed int64
+
+	// Centers holds the fitted centroids.
+	Centers [][]float64
+}
+
+func (k *KMeans) kval() int {
+	if k.K == 0 {
+		return 8
+	}
+	return k.K
+}
+
+// Fit computes the centroids. When K exceeds the number of rows the extra
+// centers duplicate data points.
+func (k *KMeans) Fit(X [][]float64) error {
+	if _, err := checkXY(X, nil); err != nil {
+		return err
+	}
+	kk := k.kval()
+	rng := NewRNG(k.Seed)
+	k.Centers = kmeansPlusPlus(X, kk, rng)
+	maxIter := k.MaxIter
+	if maxIter == 0 {
+		maxIter = 50
+	}
+	assign := make([]int, len(X))
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, row := range X {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range k.Centers {
+				if d := SqDist(row, ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		counts := make([]float64, len(k.Centers))
+		sums := make([][]float64, len(k.Centers))
+		for c := range sums {
+			sums[c] = make([]float64, len(X[0]))
+		}
+		for i, row := range X {
+			c := assign[i]
+			counts[c]++
+			for j, v := range row {
+				sums[c][j] += v
+			}
+		}
+		for c := range k.Centers {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				k.Centers[c] = append([]float64(nil), X[rng.Intn(len(X))]...)
+				continue
+			}
+			for j := range sums[c] {
+				sums[c][j] /= counts[c]
+			}
+			k.Centers[c] = sums[c]
+		}
+	}
+	return nil
+}
+
+// Assign returns the nearest-center index per row.
+func (k *KMeans) Assign(X [][]float64) []int {
+	out := make([]int, len(X))
+	for i, row := range X {
+		best, bestD := 0, math.Inf(1)
+		for c, ctr := range k.Centers {
+			if d := SqDist(row, ctr); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+func kmeansPlusPlus(X [][]float64, k int, rng *RNG) [][]float64 {
+	centers := make([][]float64, 0, k)
+	centers = append(centers, append([]float64(nil), X[rng.Intn(len(X))]...))
+	dist := make([]float64, len(X))
+	for len(centers) < k {
+		var total float64
+		for i, row := range X {
+			d := math.Inf(1)
+			for _, c := range centers {
+				if dd := SqDist(row, c); dd < d {
+					d = dd
+				}
+			}
+			dist[i] = d
+			total += d
+		}
+		if total == 0 {
+			centers = append(centers, append([]float64(nil), X[rng.Intn(len(X))]...))
+			continue
+		}
+		r := rng.Float64() * total
+		idx := 0
+		for i, d := range dist {
+			r -= d
+			if r <= 0 {
+				idx = i
+				break
+			}
+		}
+		centers = append(centers, append([]float64(nil), X[idx]...))
+	}
+	return centers
+}

@@ -1,0 +1,115 @@
+package mlkit
+
+import "sort"
+
+// KNN is a k-nearest-neighbours classifier over Euclidean distance with
+// optional training-set subsampling to bound inference cost.
+type KNN struct {
+	// K is the neighbourhood size; 0 means 5.
+	K int
+	// MaxTrain caps the stored training set (uniform subsample); 0 means
+	// 4096. Set negative to keep everything.
+	MaxTrain int
+	// Seed drives the subsample.
+	Seed int64
+
+	x       [][]float64
+	y       []int
+	classes int
+}
+
+func (k *KNN) kval() int {
+	if k.K == 0 {
+		return 5
+	}
+	return k.K
+}
+
+// Fit stores (a subsample of) the training data.
+func (k *KNN) Fit(X [][]float64, y []int) error {
+	if _, err := checkXY(X, y); err != nil {
+		return err
+	}
+	maxTrain := k.MaxTrain
+	if maxTrain == 0 {
+		maxTrain = 4096
+	}
+	if maxTrain > 0 && len(X) > maxTrain {
+		X, y = Subsample(X, y, maxTrain, k.Seed)
+	}
+	k.x = X
+	k.y = y
+	k.classes = 0
+	for _, label := range y {
+		if label+1 > k.classes {
+			k.classes = label + 1
+		}
+	}
+	if k.classes < 2 {
+		k.classes = 2
+	}
+	return nil
+}
+
+// vote returns the class-frequency distribution among the K nearest stored
+// points.
+func (k *KNN) vote(row []float64) []float64 {
+	type nd struct {
+		d float64
+		y int
+	}
+	kk := k.kval()
+	if kk > len(k.x) {
+		kk = len(k.x)
+	}
+	// Keep the kk smallest distances with a simple bounded insertion;
+	// training sets are capped so this is fast enough.
+	best := make([]nd, 0, kk)
+	for i, tr := range k.x {
+		d := SqDist(row, tr)
+		if len(best) < kk {
+			best = append(best, nd{d, k.y[i]})
+			if len(best) == kk {
+				sort.Slice(best, func(a, b int) bool { return best[a].d < best[b].d })
+			}
+			continue
+		}
+		if d >= best[kk-1].d {
+			continue
+		}
+		pos := sort.Search(kk, func(j int) bool { return best[j].d > d })
+		copy(best[pos+1:], best[pos:kk-1])
+		best[pos] = nd{d, k.y[i]}
+	}
+	counts := make([]float64, k.classes)
+	for _, b := range best {
+		counts[b.y]++
+	}
+	if len(best) > 0 {
+		for j := range counts {
+			counts[j] /= float64(len(best))
+		}
+	}
+	return counts
+}
+
+// Predict returns the majority class among neighbours per row.
+func (k *KNN) Predict(X [][]float64) []int {
+	out := make([]int, len(X))
+	for i, row := range X {
+		out[i] = ArgMax(k.vote(row))
+	}
+	return out
+}
+
+// Proba returns the neighbour fraction of class 1 per row.
+func (k *KNN) Proba(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, row := range X {
+		v := k.vote(row)
+		if len(v) > 1 {
+			out[i] = v[1]
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package mlkit
+
+import "math"
+
+// LogisticRegression is a binary logistic classifier trained by SGD with
+// L2 regularization. It broadens the AutoML search space and the grid
+// search examples; inputs should be scaled.
+type LogisticRegression struct {
+	// LR is the learning rate; 0 means 0.1.
+	LR float64
+	// Lambda is the L2 penalty; 0 means 1e-4.
+	Lambda float64
+	// Epochs over the data; 0 means 20.
+	Epochs int
+	// Seed drives sampling order.
+	Seed int64
+
+	w []float64
+	b float64
+}
+
+// Fit trains on labels in {0,1}.
+func (l *LogisticRegression) Fit(X [][]float64, y []int) error {
+	d, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	lr := l.LR
+	if lr == 0 {
+		lr = 0.1
+	}
+	lambda := l.Lambda
+	if lambda == 0 {
+		lambda = 1e-4
+	}
+	epochs := l.Epochs
+	if epochs == 0 {
+		epochs = 20
+	}
+	l.w = make([]float64, d)
+	l.b = 0
+	rng := NewRNG(l.Seed)
+	n := len(X)
+	for e := 0; e < epochs; e++ {
+		step := lr / (1 + 0.1*float64(e)) // simple decay
+		for k := 0; k < n; k++ {
+			i := rng.Intn(n)
+			p := sigmoid(Dot(l.w, X[i]) + l.b)
+			t := 0.0
+			if y[i] != 0 {
+				t = 1
+			}
+			g := p - t
+			for j, v := range X[i] {
+				l.w[j] -= step * (g*v + lambda*l.w[j])
+			}
+			l.b -= step * g
+		}
+	}
+	return nil
+}
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// Predict thresholds the probability at 0.5.
+func (l *LogisticRegression) Predict(X [][]float64) []int {
+	p := l.Proba(X)
+	out := make([]int, len(p))
+	for i, v := range p {
+		if v > 0.5 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Proba returns P(y=1|x) per row.
+func (l *LogisticRegression) Proba(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, row := range X {
+		out[i] = sigmoid(Dot(l.w, row) + l.b)
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+// Package mlkit is a self-contained machine-learning library implemented on
+// the Go standard library only. It provides the model families required by
+// the 16 anomaly-detection algorithms Lumen ports: decision trees, random
+// forests, naive Bayes, k-nearest neighbours, linear and one-class SVMs,
+// Gaussian mixtures, k-means, Nyström kernel approximation, feed-forward
+// autoencoders, Kitsune's KitNET ensemble, and a small AutoML search.
+//
+// Two interfaces split the supervised and unsupervised worlds:
+//
+//	Classifier: Fit(X, y) then Predict(X) -> class labels
+//	Detector:   Fit(X)    then Score(X)   -> anomaly scores (higher = worse)
+//
+// All models accept row-major [][]float64 feature matrices. Randomized
+// models take an explicit seed so results are reproducible.
+package mlkit
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Classifier is a supervised classifier over dense feature vectors.
+// Labels are small non-negative ints; binary tasks use 0 (benign) and
+// 1 (malicious).
+type Classifier interface {
+	// Fit trains the classifier. X is row-major, len(y) == len(X).
+	Fit(X [][]float64, y []int) error
+	// Predict returns one label per row of X.
+	Predict(X [][]float64) []int
+}
+
+// ProbClassifier is a Classifier that can also report class-1 scores,
+// enabling threshold sweeps (AUC) on supervised models.
+type ProbClassifier interface {
+	Classifier
+	// Proba returns, for each row, the score of the positive class in [0,1].
+	Proba(X [][]float64) []float64
+}
+
+// Detector is an unsupervised anomaly detector. Fit learns a model of
+// "normal" data; Score returns a value per row where higher means more
+// anomalous.
+type Detector interface {
+	Fit(X [][]float64) error
+	Score(X [][]float64) []float64
+}
+
+// Thresholded wraps a Detector and a score threshold into a Classifier:
+// scores strictly above the threshold predict class 1.
+type Thresholded struct {
+	Detector  Detector
+	Threshold float64
+	// Quantile, when in (0,1], recomputes Threshold at Fit time as that
+	// quantile of the training scores (e.g. 0.98 tolerates 2% training
+	// outliers). When 0 the fixed Threshold is used as-is.
+	Quantile float64
+}
+
+// Fit fits the wrapped detector on the benign subset of X (rows with y==0),
+// falling back to all rows if none are labelled benign, then calibrates the
+// threshold from training scores when Quantile is set.
+func (t *Thresholded) Fit(X [][]float64, y []int) error {
+	benign := make([][]float64, 0, len(X))
+	for i, row := range X {
+		if y[i] == 0 {
+			benign = append(benign, row)
+		}
+	}
+	if len(benign) == 0 {
+		benign = X
+	}
+	if err := t.Detector.Fit(benign); err != nil {
+		return err
+	}
+	if t.Quantile > 0 {
+		scores := t.Detector.Score(benign)
+		t.Threshold = Quantile(scores, t.Quantile)
+	}
+	return nil
+}
+
+// Predict classifies rows whose anomaly score exceeds the threshold as 1.
+func (t *Thresholded) Predict(X [][]float64) []int {
+	scores := t.Detector.Score(X)
+	out := make([]int, len(scores))
+	for i, s := range scores {
+		if s > t.Threshold {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Proba maps scores monotonically into [0,1] via score/(score+threshold),
+// which preserves AUC ordering.
+func (t *Thresholded) Proba(X [][]float64) []float64 {
+	scores := t.Detector.Score(X)
+	out := make([]float64, len(scores))
+	for i, s := range scores {
+		if s < 0 {
+			s = 0
+		}
+		d := s + t.Threshold
+		if d <= 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = s / d
+	}
+	return out
+}
+
+// ErrNoData is returned by Fit when the training matrix is empty.
+var ErrNoData = errors.New("mlkit: empty training set")
+
+// ErrDimMismatch is returned when feature dimensions are inconsistent.
+var ErrDimMismatch = errors.New("mlkit: feature dimension mismatch")
+
+func checkXY(X [][]float64, y []int) (d int, err error) {
+	if len(X) == 0 {
+		return 0, ErrNoData
+	}
+	if y != nil && len(y) != len(X) {
+		return 0, fmt.Errorf("%w: %d rows, %d labels", ErrDimMismatch, len(X), len(y))
+	}
+	d = len(X[0])
+	for i, row := range X {
+		if len(row) != d {
+			return 0, fmt.Errorf("%w: row %d has %d features, want %d", ErrDimMismatch, i, len(row), d)
+		}
+	}
+	return d, nil
+}

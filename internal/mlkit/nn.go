@@ -1,0 +1,272 @@
+package mlkit
+
+import "math"
+
+// Activation selects the hidden-layer nonlinearity of an MLP.
+type Activation int
+
+// Supported activations.
+const (
+	ActSigmoid Activation = iota
+	ActReLU
+	ActTanh
+)
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case ActReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case ActTanh:
+		return math.Tanh(x)
+	default:
+		return 1 / (1 + math.Exp(-x))
+	}
+}
+
+func (a Activation) deriv(y float64) float64 {
+	// Derivative expressed through the activation output y.
+	switch a {
+	case ActReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case ActTanh:
+		return 1 - y*y
+	default:
+		return y * (1 - y)
+	}
+}
+
+// MLP is a fully-connected feed-forward network trained by SGD with
+// momentum on mean-squared error. It is the building block for the
+// autoencoders used by Kitsune (A06), the Nokia network-centric detector
+// (A11) and the early-detection model (A12), and serves as the "DNN" member
+// of the Ensemble algorithm (A15-style stacks).
+type MLP struct {
+	// Sizes lists layer widths, inputs first, outputs last.
+	Sizes []int
+	// Act is the hidden activation; output is sigmoid for training targets
+	// in [0,1].
+	Act Activation
+	// LR is the learning rate; 0 means 0.05.
+	LR float64
+	// Momentum coefficient; 0 means 0.9 (set negative for none).
+	Momentum float64
+	// Epochs over the data; 0 means 30.
+	Epochs int
+	// Seed drives weight init and sample order.
+	Seed int64
+
+	weights [][][]float64 // [layer][out][in]
+	biases  [][]float64   // [layer][out]
+	velW    [][][]float64
+	velB    [][]float64
+}
+
+func (m *MLP) lr() float64 {
+	if m.LR == 0 {
+		return 0.05
+	}
+	return m.LR
+}
+
+func (m *MLP) momentum() float64 {
+	if m.Momentum == 0 {
+		return 0.9
+	}
+	if m.Momentum < 0 {
+		return 0
+	}
+	return m.Momentum
+}
+
+func (m *MLP) epochs() int {
+	if m.Epochs == 0 {
+		return 30
+	}
+	return m.Epochs
+}
+
+// Init allocates and randomizes weights (Xavier-style). Fit calls it
+// automatically when needed.
+func (m *MLP) Init() {
+	rng := NewRNG(m.Seed)
+	nl := len(m.Sizes) - 1
+	m.weights = make([][][]float64, nl)
+	m.biases = make([][]float64, nl)
+	m.velW = make([][][]float64, nl)
+	m.velB = make([][]float64, nl)
+	for l := 0; l < nl; l++ {
+		in, out := m.Sizes[l], m.Sizes[l+1]
+		scale := math.Sqrt(2.0 / float64(in+out))
+		m.weights[l] = make([][]float64, out)
+		m.velW[l] = make([][]float64, out)
+		for o := 0; o < out; o++ {
+			m.weights[l][o] = make([]float64, in)
+			m.velW[l][o] = make([]float64, in)
+			for i := 0; i < in; i++ {
+				m.weights[l][o][i] = rng.NormFloat64() * scale
+			}
+		}
+		m.biases[l] = make([]float64, out)
+		m.velB[l] = make([]float64, out)
+	}
+}
+
+// Forward runs one input through the network, returning all layer
+// activations (activations[0] is the input itself).
+func (m *MLP) Forward(x []float64) [][]float64 {
+	acts := make([][]float64, len(m.Sizes))
+	acts[0] = x
+	for l := range m.weights {
+		out := make([]float64, len(m.weights[l]))
+		last := l == len(m.weights)-1
+		for o := range m.weights[l] {
+			z := m.biases[l][o] + Dot(m.weights[l][o], acts[l])
+			if last {
+				out[o] = 1 / (1 + math.Exp(-z)) // sigmoid output
+			} else {
+				out[o] = m.Act.apply(z)
+			}
+		}
+		acts[l+1] = out
+	}
+	return acts
+}
+
+// TrainStep backpropagates one (x, target) pair and returns its squared
+// error before the update.
+func (m *MLP) TrainStep(x, target []float64) float64 {
+	if m.weights == nil {
+		m.Init()
+	}
+	acts := m.Forward(x)
+	nl := len(m.weights)
+	deltas := make([][]float64, nl)
+
+	// Output layer (sigmoid + MSE).
+	outAct := acts[nl]
+	var sqErr float64
+	deltas[nl-1] = make([]float64, len(outAct))
+	for o, yo := range outAct {
+		e := yo - target[o]
+		sqErr += e * e
+		deltas[nl-1][o] = e * yo * (1 - yo)
+	}
+	// Hidden layers.
+	for l := nl - 2; l >= 0; l-- {
+		deltas[l] = make([]float64, m.Sizes[l+1])
+		for i := range deltas[l] {
+			var s float64
+			for o := range deltas[l+1] {
+				s += m.weights[l+1][o][i] * deltas[l+1][o]
+			}
+			deltas[l][i] = s * m.Act.deriv(acts[l+1][i])
+		}
+	}
+	// Update with momentum.
+	lr, mom := m.lr(), m.momentum()
+	for l := 0; l < nl; l++ {
+		for o := range m.weights[l] {
+			d := deltas[l][o]
+			for i := range m.weights[l][o] {
+				g := d * acts[l][i]
+				m.velW[l][o][i] = mom*m.velW[l][o][i] - lr*g
+				m.weights[l][o][i] += m.velW[l][o][i]
+			}
+			m.velB[l][o] = mom*m.velB[l][o] - lr*d
+			m.biases[l][o] += m.velB[l][o]
+		}
+	}
+	return sqErr
+}
+
+// FitTargets trains on explicit (X, T) pairs for Epochs passes.
+func (m *MLP) FitTargets(X, T [][]float64) error {
+	if len(X) == 0 {
+		return ErrNoData
+	}
+	if m.weights == nil {
+		m.Init()
+	}
+	rng := NewRNG(m.Seed + 1)
+	for e := 0; e < m.epochs(); e++ {
+		perm := rng.Perm(len(X))
+		for _, i := range perm {
+			m.TrainStep(X[i], T[i])
+		}
+	}
+	return nil
+}
+
+// Predict01 runs rows forward and returns the first output unit.
+func (m *MLP) Predict01(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, row := range X {
+		acts := m.Forward(row)
+		out[i] = acts[len(acts)-1][0]
+	}
+	return out
+}
+
+// MLPClassifier adapts MLP to the Classifier interface for binary tasks.
+// Inputs should be scaled to roughly [0,1].
+type MLPClassifier struct {
+	// Hidden lists hidden-layer widths; empty means one layer of 16.
+	Hidden []int
+	// Epochs, LR, Seed configure the underlying MLP.
+	Epochs int
+	LR     float64
+	Seed   int64
+	// Threshold on the output unit; 0 means 0.5.
+	Threshold float64
+
+	net *MLP
+}
+
+// Fit trains the network on binary labels.
+func (c *MLPClassifier) Fit(X [][]float64, y []int) error {
+	d, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	hidden := c.Hidden
+	if len(hidden) == 0 {
+		hidden = []int{16}
+	}
+	sizes := append([]int{d}, hidden...)
+	sizes = append(sizes, 1)
+	c.net = &MLP{Sizes: sizes, Act: ActReLU, Epochs: c.Epochs, LR: c.LR, Seed: c.Seed}
+	T := make([][]float64, len(y))
+	for i, label := range y {
+		if label != 0 {
+			T[i] = []float64{1}
+		} else {
+			T[i] = []float64{0}
+		}
+	}
+	return c.net.FitTargets(X, T)
+}
+
+// Predict thresholds the output unit.
+func (c *MLPClassifier) Predict(X [][]float64) []int {
+	thr := c.Threshold
+	if thr == 0 {
+		thr = 0.5
+	}
+	p := c.net.Predict01(X)
+	out := make([]int, len(p))
+	for i, v := range p {
+		if v > thr {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Proba returns the raw output unit per row.
+func (c *MLPClassifier) Proba(X [][]float64) []float64 { return c.net.Predict01(X) }

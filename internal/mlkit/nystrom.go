@@ -1,0 +1,158 @@
+package mlkit
+
+import "math"
+
+// NystromMap approximates an RBF-kernel feature space by projecting each
+// input onto kernel evaluations against M landmark points, whitened by the
+// landmark kernel matrix's inverse square root (computed via Jacobi
+// eigendecomposition). Composing this with a linear model reproduces the
+// "Nyström + OCSVM / Nyström + GMM" constructions of A08/A09.
+type NystromMap struct {
+	// M landmarks; 0 means 64.
+	M int
+	// Gamma is the RBF width exp(-gamma*||x-z||²); 0 means 1/d at Fit.
+	Gamma float64
+	// Seed drives landmark selection (k-means centers).
+	Seed int64
+
+	landmarks [][]float64
+	proj      [][]float64 // K_mm^{-1/2}, M×M
+	gamma     float64
+}
+
+// Fit picks landmarks via k-means and computes the whitening projection.
+func (ny *NystromMap) Fit(X [][]float64) error {
+	d, err := checkXY(X, nil)
+	if err != nil {
+		return err
+	}
+	m := ny.M
+	if m == 0 {
+		m = 64
+	}
+	if m > len(X) {
+		m = len(X)
+	}
+	ny.gamma = ny.Gamma
+	if ny.gamma == 0 {
+		ny.gamma = 1 / float64(d)
+	}
+	km := &KMeans{K: m, Seed: ny.Seed, MaxIter: 20}
+	if err := km.Fit(X); err != nil {
+		return err
+	}
+	ny.landmarks = km.Centers
+	m = len(ny.landmarks)
+
+	// Kmm[i][j] = rbf(z_i, z_j)
+	kmm := make([][]float64, m)
+	for i := range kmm {
+		kmm[i] = make([]float64, m)
+		for j := range kmm[i] {
+			kmm[i][j] = math.Exp(-ny.gamma * SqDist(ny.landmarks[i], ny.landmarks[j]))
+		}
+	}
+	vals, vecs := jacobiEigen(kmm, 100)
+	// proj = V * diag(1/sqrt(max(val,eps))) * V^T
+	ny.proj = make([][]float64, m)
+	for i := range ny.proj {
+		ny.proj[i] = make([]float64, m)
+	}
+	for k := 0; k < m; k++ {
+		lam := vals[k]
+		if lam < 1e-8 {
+			continue // drop near-null directions
+		}
+		inv := 1 / math.Sqrt(lam)
+		for i := 0; i < m; i++ {
+			vik := vecs[i][k] * inv
+			for j := 0; j < m; j++ {
+				ny.proj[i][j] += vik * vecs[j][k]
+			}
+		}
+	}
+	return nil
+}
+
+// Transform maps rows into the M-dimensional Nyström feature space.
+func (ny *NystromMap) Transform(X [][]float64) [][]float64 {
+	m := len(ny.landmarks)
+	out := make([][]float64, len(X))
+	kx := make([]float64, m)
+	for i, row := range X {
+		for j, z := range ny.landmarks {
+			kx[j] = math.Exp(-ny.gamma * SqDist(row, z))
+		}
+		feat := make([]float64, m)
+		for a := 0; a < m; a++ {
+			var s float64
+			for b := 0; b < m; b++ {
+				s += ny.proj[a][b] * kx[b]
+			}
+			feat[a] = s
+		}
+		out[i] = feat
+	}
+	return out
+}
+
+// jacobiEigen diagonalizes a symmetric matrix with cyclic Jacobi rotations,
+// returning eigenvalues and the column-eigenvector matrix.
+func jacobiEigen(a [][]float64, sweeps int) (vals []float64, vecs [][]float64) {
+	n := len(a)
+	// Work on a copy.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	vecs = make([][]float64, n)
+	for i := range vecs {
+		vecs[i] = make([]float64, n)
+		vecs[i][i] = 1
+	}
+	for sweep := 0; sweep < sweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < 1e-18 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(m[p][q]) < 1e-15 {
+					continue
+				}
+				theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					mkp, mkq := m[k][p], m[k][q]
+					m[k][p] = c*mkp - s*mkq
+					m[k][q] = s*mkp + c*mkq
+				}
+				for k := 0; k < n; k++ {
+					mpk, mqk := m[p][k], m[q][k]
+					m[p][k] = c*mpk - s*mqk
+					m[q][k] = s*mpk + c*mqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := vecs[k][p], vecs[k][q]
+					vecs[k][p] = c*vkp - s*vkq
+					vecs[k][q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m[i][i]
+	}
+	return vals, vecs
+}

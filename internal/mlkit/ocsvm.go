@@ -1,0 +1,80 @@
+package mlkit
+
+// OneClassSVM implements Schölkopf's ν-one-class SVM trained by stochastic
+// sub-gradient descent on the primal:
+//
+//	min_w,ρ  λ/2 ||w||² + (1/n) Σ max(0, ρ − ⟨w,x⟩) − νρ
+//
+// On raw inputs this is a linear one-class boundary; composed with
+// NystromMap it approximates the RBF-kernel OCSVM of Yang et al. ("An
+// Efficient One-Class SVM for Anomaly Detection in the Internet of Things"),
+// which Lumen ports as algorithms A07–A09.
+type OneClassSVM struct {
+	// Nu in (0,1] bounds the training outlier fraction; 0 means 0.1.
+	Nu float64
+	// Lambda is the regularizer; 0 means 1e-4.
+	Lambda float64
+	// Epochs over the data; 0 means 20.
+	Epochs int
+	// Seed drives sampling order.
+	Seed int64
+
+	w   []float64
+	rho float64
+}
+
+// Fit learns the normality boundary from (assumed mostly benign) X.
+func (o *OneClassSVM) Fit(X [][]float64) error {
+	d, err := checkXY(X, nil)
+	if err != nil {
+		return err
+	}
+	nu := o.Nu
+	if nu == 0 {
+		nu = 0.1
+	}
+	lambda := o.Lambda
+	if lambda == 0 {
+		lambda = 1e-4
+	}
+	epochs := o.Epochs
+	if epochs == 0 {
+		epochs = 20
+	}
+	o.w = make([]float64, d)
+	o.rho = 0
+	rng := NewRNG(o.Seed)
+	n := len(X)
+	t := 0
+	for e := 0; e < epochs; e++ {
+		for k := 0; k < n; k++ {
+			t++
+			i := rng.Intn(n)
+			eta := 1 / (lambda * float64(t))
+			score := Dot(o.w, X[i])
+			decay := 1 - eta*lambda
+			for j := range o.w {
+				o.w[j] *= decay
+			}
+			if score < o.rho { // hinge active: push w toward x, rho down
+				for j, v := range X[i] {
+					o.w[j] += eta * v
+				}
+				o.rho -= eta * (1 - nu)
+			} else {
+				o.rho += eta * nu
+			}
+		}
+	}
+	return nil
+}
+
+// Score returns ρ − ⟨w,x⟩ per row: positive means outside the learned
+// region (anomalous), higher is more anomalous.
+func (o *OneClassSVM) Score(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, row := range X {
+		out[i] = o.rho - Dot(o.w, row)
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package mlkit
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func roundTrip(t *testing.T, c Classifier) Classifier {
+	t.Helper()
+	data, err := MarshalModel(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := UnmarshalModel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func assertSamePredictions(t *testing.T, a, b Classifier, X [][]float64) {
+	t.Helper()
+	pa, pb := a.Predict(X), b.Predict(X)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("prediction %d differs after round trip: %d vs %d", i, pa[i], pb[i])
+		}
+	}
+}
+
+func TestPersistDecisionTree(t *testing.T) {
+	X, y := xorData(400, 401)
+	tr := &DecisionTree{Seed: 1}
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	assertSamePredictions(t, tr, roundTrip(t, tr), X)
+}
+
+func TestPersistRandomForest(t *testing.T) {
+	X, y := blobs(300, 4, 2, 403)
+	f := &RandomForest{NTrees: 10, Seed: 1}
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	loaded := roundTrip(t, f)
+	assertSamePredictions(t, f, loaded, X)
+	// Probabilities must survive too (they drive AUC).
+	pa := f.Proba(X)
+	pb := loaded.(*RandomForest).Proba(X)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("proba %d differs: %v vs %v", i, pa[i], pb[i])
+		}
+	}
+}
+
+func TestPersistGaussianNB(t *testing.T) {
+	X, y := blobs(300, 3, 3, 407)
+	g := &GaussianNB{}
+	if err := g.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	assertSamePredictions(t, g, roundTrip(t, g), X)
+}
+
+func TestPersistGaussianNBWithMissingClass(t *testing.T) {
+	// Labels 0 and 2 only: class 1's prior is -Inf, which JSON cannot
+	// carry directly — the sentinel path must restore it.
+	X := [][]float64{{0}, {0.1}, {6}, {6.1}}
+	y := []int{0, 0, 2, 2}
+	g := &GaussianNB{}
+	if err := g.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	loaded := roundTrip(t, g)
+	assertSamePredictions(t, g, loaded, X)
+	for _, p := range loaded.Predict(X) {
+		if p == 1 {
+			t.Fatal("restored model predicted the absent class")
+		}
+	}
+}
+
+func TestSaveLoadModelFile(t *testing.T) {
+	X, y := blobs(100, 2, 3, 409)
+	tr := &DecisionTree{Seed: 1}
+	if err := tr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := SaveModel(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSamePredictions(t, tr, loaded, X)
+}
+
+func TestPersistRejectsUnsupported(t *testing.T) {
+	if _, err := MarshalModel(&KNN{}); err == nil {
+		t.Error("KNN persistence should be unsupported")
+	}
+	if _, err := UnmarshalModel([]byte(`{"version":1,"type":"alien","data":{}}`)); err == nil {
+		t.Error("unknown type should fail")
+	}
+	if _, err := UnmarshalModel([]byte(`{"version":9,"type":"decision_tree","data":{}}`)); err == nil {
+		t.Error("unknown version should fail")
+	}
+	if _, err := UnmarshalModel([]byte("not json")); err == nil {
+		t.Error("garbage should fail")
+	}
+}

@@ -1,0 +1,104 @@
+package mlkit
+
+import "math"
+
+// LinearSVM is a binary linear SVM trained with the Pegasos stochastic
+// sub-gradient algorithm on the hinge loss. Inputs should be scaled.
+type LinearSVM struct {
+	// Lambda is the L2 regularization strength; 0 means 1e-4.
+	Lambda float64
+	// Epochs over the data; 0 means 10.
+	Epochs int
+	// Seed drives the sampling order.
+	Seed int64
+
+	w []float64
+	b float64
+	// scale calibrates Proba's logistic squashing.
+	scale float64
+}
+
+// Fit trains on X with labels y in {0,1} (mapped internally to ±1).
+func (s *LinearSVM) Fit(X [][]float64, y []int) error {
+	d, err := checkXY(X, y)
+	if err != nil {
+		return err
+	}
+	lambda := s.Lambda
+	if lambda == 0 {
+		lambda = 1e-4
+	}
+	epochs := s.Epochs
+	if epochs == 0 {
+		epochs = 10
+	}
+	s.w = make([]float64, d)
+	s.b = 0
+	rng := NewRNG(s.Seed)
+	n := len(X)
+	t := 0
+	for e := 0; e < epochs; e++ {
+		for k := 0; k < n; k++ {
+			t++
+			i := rng.Intn(n)
+			yi := -1.0
+			if y[i] != 0 {
+				yi = 1
+			}
+			eta := 1 / (lambda * float64(t))
+			margin := yi * (Dot(s.w, X[i]) + s.b)
+			// w <- (1 - eta*lambda) w [+ eta*yi*x when violating]
+			decay := 1 - eta*lambda
+			for j := range s.w {
+				s.w[j] *= decay
+			}
+			if margin < 1 {
+				for j, v := range X[i] {
+					s.w[j] += eta * yi * v
+				}
+				s.b += eta * yi
+			}
+		}
+	}
+	// Calibrate a logistic scale from the margin spread.
+	var sumAbs float64
+	for _, row := range X {
+		sumAbs += math.Abs(Dot(s.w, row) + s.b)
+	}
+	s.scale = 1
+	if m := sumAbs / float64(n); m > 0 {
+		s.scale = 1 / m
+	}
+	return nil
+}
+
+// Decision returns the signed margin per row.
+func (s *LinearSVM) Decision(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, row := range X {
+		out[i] = Dot(s.w, row) + s.b
+	}
+	return out
+}
+
+// Predict returns 1 where the margin is positive.
+func (s *LinearSVM) Predict(X [][]float64) []int {
+	dec := s.Decision(X)
+	out := make([]int, len(dec))
+	for i, m := range dec {
+		if m > 0 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Proba squashes margins through a calibrated logistic.
+func (s *LinearSVM) Proba(X [][]float64) []float64 {
+	dec := s.Decision(X)
+	out := make([]float64, len(dec))
+	for i, m := range dec {
+		out[i] = 1 / (1 + math.Exp(-m*s.scale))
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+package netpkt
+
+import "net/netip"
+
+// internetChecksum computes the RFC 1071 one's-complement sum over data,
+// seeded with an initial partial sum (for pseudo-headers).
+func internetChecksum(data []byte, initial uint32) uint16 {
+	sum := initial
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum returns the partial sum of the IPv4 pseudo header used
+// by TCP and UDP checksums.
+func pseudoHeaderSum(src, dst netip.Addr, proto uint8, l4len int) uint32 {
+	var sum uint32
+	s, d := src.As4(), dst.As4()
+	sum += uint32(s[0])<<8 | uint32(s[1])
+	sum += uint32(s[2])<<8 | uint32(s[3])
+	sum += uint32(d[0])<<8 | uint32(d[1])
+	sum += uint32(d[2])<<8 | uint32(d[3])
+	sum += uint32(proto)
+	sum += uint32(l4len)
+	return sum
+}

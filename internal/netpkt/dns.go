@@ -1,0 +1,102 @@
+package netpkt
+
+import "encoding/binary"
+
+// DNS is a minimally-decoded DNS message: header plus question names,
+// which is what the IoT feature pipelines (e.g. the Ensemble algorithm's
+// DNS features) consume.
+type DNS struct {
+	ID      uint16
+	QR      bool // response?
+	Opcode  uint8
+	RCode   uint8
+	QDCount uint16
+	ANCount uint16
+	Names   []string
+}
+
+// decodeDNS parses a DNS message; ok is false on malformed input.
+func decodeDNS(b []byte) (*DNS, bool) {
+	if len(b) < 12 {
+		return nil, false
+	}
+	d := &DNS{
+		ID:      binary.BigEndian.Uint16(b[0:2]),
+		QR:      b[2]&0x80 != 0,
+		Opcode:  (b[2] >> 3) & 0x0f,
+		RCode:   b[3] & 0x0f,
+		QDCount: binary.BigEndian.Uint16(b[4:6]),
+		ANCount: binary.BigEndian.Uint16(b[6:8]),
+	}
+	off := 12
+	for q := 0; q < int(d.QDCount) && q < 16; q++ {
+		name, next, ok := decodeName(b, off)
+		if !ok {
+			return d, true // header still useful
+		}
+		d.Names = append(d.Names, name)
+		off = next + 4 // skip qtype+qclass
+		if off > len(b) {
+			break
+		}
+	}
+	return d, true
+}
+
+// decodeName reads an uncompressed DNS name starting at off.
+func decodeName(b []byte, off int) (name string, next int, ok bool) {
+	var out []byte
+	for {
+		if off >= len(b) {
+			return "", 0, false
+		}
+		l := int(b[off])
+		if l == 0 {
+			off++
+			break
+		}
+		if l >= 0xc0 { // compression pointers not produced by our encoder
+			return "", 0, false
+		}
+		off++
+		if off+l > len(b) {
+			return "", 0, false
+		}
+		if len(out) > 0 {
+			out = append(out, '.')
+		}
+		out = append(out, b[off:off+l]...)
+		off += l
+	}
+	return string(out), off, true
+}
+
+// EncodeDNSQuery builds a simple one-question DNS query payload (A record,
+// IN class) for the traffic simulator.
+func EncodeDNSQuery(id uint16, name string, response bool) []byte {
+	b := make([]byte, 12, 12+len(name)+6)
+	binary.BigEndian.PutUint16(b[0:2], id)
+	if response {
+		b[2] = 0x80
+		binary.BigEndian.PutUint16(b[6:8], 1) // one answer
+	}
+	binary.BigEndian.PutUint16(b[4:6], 1) // one question
+	b = appendName(b, name)
+	b = append(b, 0, 1, 0, 1) // QTYPE=A, QCLASS=IN
+	return b
+}
+
+func appendName(b []byte, name string) []byte {
+	start := 0
+	for i := 0; i <= len(name); i++ {
+		if i == len(name) || name[i] == '.' {
+			label := name[start:i]
+			if len(label) > 0 && len(label) < 64 {
+				b = append(b, byte(len(label)))
+				b = append(b, label...)
+			}
+			start = i + 1
+		}
+	}
+	return append(b, 0)
+}

@@ -1,0 +1,189 @@
+package netpkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Serialize renders the packet's decoded layers to wire bytes, fixing up
+// length and checksum fields, and stores the result in p.Data. Supported
+// stacks: Ethernet{ARP | IPv4{TCP|UDP|ICMP}} and bare Dot11.
+func (p *Packet) Serialize() ([]byte, error) {
+	switch {
+	case p.Dot11 != nil:
+		p.Link = LinkDot11
+		p.Data = p.Dot11.encode(p.Payload)
+		return p.Data, nil
+	case p.Eth == nil:
+		return nil, fmt.Errorf("netpkt: serialize: no link layer")
+	}
+	p.Link = LinkEthernet
+	buf := make([]byte, 0, 14+40+len(p.Payload))
+	eth := make([]byte, 14)
+	copy(eth[0:6], p.Eth.Dst[:])
+	copy(eth[6:12], p.Eth.Src[:])
+
+	switch {
+	case p.ARP != nil:
+		binary.BigEndian.PutUint16(eth[12:14], EtherTypeARP)
+		buf = append(buf, eth...)
+		buf = append(buf, p.ARP.encode()...)
+	case p.IPv4 != nil:
+		binary.BigEndian.PutUint16(eth[12:14], EtherTypeIPv4)
+		l4, err := p.encodeL4()
+		if err != nil {
+			return nil, err
+		}
+		ip := p.IPv4.encode(len(l4))
+		buf = append(buf, eth...)
+		buf = append(buf, ip...)
+		buf = append(buf, l4...)
+	case p.IPv6 != nil:
+		binary.BigEndian.PutUint16(eth[12:14], EtherTypeIPv6)
+		l4, err := p.encodeL4()
+		if err != nil {
+			return nil, err
+		}
+		ip := p.IPv6.encode(len(l4))
+		buf = append(buf, eth...)
+		buf = append(buf, ip...)
+		buf = append(buf, l4...)
+	default:
+		return nil, fmt.Errorf("netpkt: serialize: no network layer")
+	}
+	p.Data = buf
+	return buf, nil
+}
+
+func (p *Packet) encodeL4() ([]byte, error) {
+	switch {
+	case p.TCP != nil:
+		return p.TCP.encode(p.IPv4, p.Payload), nil
+	case p.UDP != nil:
+		return p.UDP.encode(p.IPv4, p.Payload), nil
+	case p.ICMP != nil:
+		return p.ICMP.encode(p.Payload), nil
+	}
+	// Raw IP payload.
+	return p.Payload, nil
+}
+
+func (a *ARP) encode() []byte {
+	b := make([]byte, 28)
+	binary.BigEndian.PutUint16(b[0:2], 1)      // Ethernet
+	binary.BigEndian.PutUint16(b[2:4], 0x0800) // IPv4
+	b[4], b[5] = 6, 4
+	binary.BigEndian.PutUint16(b[6:8], a.Op)
+	copy(b[8:14], a.SenderHW[:])
+	sip := a.SenderIP.As4()
+	copy(b[14:18], sip[:])
+	copy(b[18:24], a.TargetHW[:])
+	tip := a.TargetIP.As4()
+	copy(b[24:28], tip[:])
+	return b
+}
+
+func (ip *IPv4) encode(payloadLen int) []byte {
+	b := make([]byte, 20)
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = ip.TOS
+	total := 20 + payloadLen
+	ip.Length = uint16(total)
+	binary.BigEndian.PutUint16(b[2:4], ip.Length)
+	binary.BigEndian.PutUint16(b[4:6], ip.ID)
+	binary.BigEndian.PutUint16(b[6:8], uint16(ip.Flags)<<13|ip.FragOff&0x1fff)
+	b[8] = ip.TTL
+	b[9] = ip.Protocol
+	src, dst := ip.Src.As4(), ip.Dst.As4()
+	copy(b[12:16], src[:])
+	copy(b[16:20], dst[:])
+	ip.Checksum = internetChecksum(b, 0)
+	binary.BigEndian.PutUint16(b[10:12], ip.Checksum)
+	return b
+}
+
+// buildOptions renders the supported TCP options, NOP-padded to a
+// 32-bit boundary.
+func (t *TCP) buildOptions() []byte {
+	var o []byte
+	if t.MSS != 0 {
+		o = append(o, 2, 4, byte(t.MSS>>8), byte(t.MSS))
+	}
+	if t.WScale != 0 {
+		o = append(o, 3, 3, t.WScale)
+	}
+	if t.SACKOK {
+		o = append(o, 4, 2)
+	}
+	for len(o)%4 != 0 {
+		o = append(o, 1) // NOP
+	}
+	return o
+}
+
+// encode renders an IPv6 fixed header.
+func (ip *IPv6) encode(payloadLen int) []byte {
+	b := make([]byte, 40)
+	b[0] = 0x60 | ip.TrafficClass>>4
+	b[1] = ip.TrafficClass<<4 | byte(ip.FlowLabel>>16)
+	binary.BigEndian.PutUint16(b[2:4], uint16(ip.FlowLabel))
+	ip.Length = uint16(payloadLen)
+	binary.BigEndian.PutUint16(b[4:6], ip.Length)
+	b[6] = ip.NextHeader
+	b[7] = ip.HopLimit
+	src, dst := ip.Src.As16(), ip.Dst.As16()
+	copy(b[8:24], src[:])
+	copy(b[24:40], dst[:])
+	return b
+}
+
+func (t *TCP) encode(ip *IPv4, payload []byte) []byte {
+	opts := t.buildOptions()
+	t.DataOff = uint8((20 + len(opts)) / 4)
+	hdrLen := int(t.DataOff) * 4
+	b := make([]byte, hdrLen+len(payload))
+	copy(b[20:hdrLen], opts)
+	binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], t.Seq)
+	binary.BigEndian.PutUint32(b[8:12], t.Ack)
+	b[12] = t.DataOff << 4
+	b[13] = t.Flags
+	binary.BigEndian.PutUint16(b[14:16], t.Window)
+	binary.BigEndian.PutUint16(b[18:20], t.Urgent)
+	copy(b[hdrLen:], payload)
+	if ip != nil {
+		t.Checksum = internetChecksum(b, pseudoHeaderSum(ip.Src, ip.Dst, ProtoTCP, len(b)))
+		binary.BigEndian.PutUint16(b[16:18], t.Checksum)
+	}
+	return b
+}
+
+func (u *UDP) encode(ip *IPv4, payload []byte) []byte {
+	b := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
+	u.Length = uint16(len(b))
+	binary.BigEndian.PutUint16(b[4:6], u.Length)
+	copy(b[8:], payload)
+	if ip != nil {
+		u.Checksum = internetChecksum(b, pseudoHeaderSum(ip.Src, ip.Dst, ProtoUDP, len(b)))
+		if u.Checksum == 0 {
+			u.Checksum = 0xffff // RFC 768: zero means "no checksum"
+		}
+		binary.BigEndian.PutUint16(b[6:8], u.Checksum)
+	}
+	return b
+}
+
+func (ic *ICMP) encode(payload []byte) []byte {
+	b := make([]byte, 8+len(payload))
+	b[0] = ic.Type
+	b[1] = ic.Code
+	binary.BigEndian.PutUint16(b[4:6], ic.ID)
+	binary.BigEndian.PutUint16(b[6:8], ic.Seq)
+	copy(b[8:], payload)
+	ic.Checksum = internetChecksum(b, 0)
+	binary.BigEndian.PutUint16(b[2:4], ic.Checksum)
+	return b
+}

@@ -1,0 +1,145 @@
+package netpkt
+
+import (
+	"bytes"
+	"strconv"
+)
+
+// HTTP is a minimally-decoded HTTP message: the request line or status
+// line plus a few headers the IoT feature pipelines look at. IoT IDS
+// features built on HTTP (e.g. the Ensemble algorithm's HTTP group, the
+// web-attack detectors) consume exactly these fields.
+type HTTP struct {
+	IsRequest bool
+	Method    string // requests
+	Path      string // requests
+	Status    int    // responses
+	Host      string
+	UserAgent string
+	// ContentLength is -1 when absent.
+	ContentLength int
+}
+
+var httpMethods = [][]byte{
+	[]byte("GET"), []byte("POST"), []byte("PUT"), []byte("DELETE"),
+	[]byte("HEAD"), []byte("OPTIONS"), []byte("PATCH"),
+}
+
+// decodeHTTP parses the start of a TCP payload as an HTTP message; ok is
+// false when it does not look like HTTP.
+func decodeHTTP(b []byte) (*HTTP, bool) {
+	if len(b) < 5 {
+		return nil, false
+	}
+	lineEnd := bytes.IndexByte(b, '\n')
+	if lineEnd < 0 {
+		lineEnd = len(b)
+	}
+	line := bytes.TrimRight(b[:lineEnd], "\r")
+	h := &HTTP{ContentLength: -1}
+	switch {
+	case bytes.HasPrefix(line, []byte("HTTP/")):
+		// Status line: HTTP/1.1 200 OK
+		parts := bytes.SplitN(line, []byte(" "), 3)
+		if len(parts) < 2 {
+			return nil, false
+		}
+		code, err := strconv.Atoi(string(parts[1]))
+		if err != nil || code < 100 || code > 599 {
+			return nil, false
+		}
+		h.Status = code
+	default:
+		// Request line: METHOD /path HTTP/1.1
+		parts := bytes.SplitN(line, []byte(" "), 3)
+		if len(parts) != 3 || !bytes.HasPrefix(parts[2], []byte("HTTP/")) {
+			return nil, false
+		}
+		okMethod := false
+		for _, m := range httpMethods {
+			if bytes.Equal(parts[0], m) {
+				okMethod = true
+				break
+			}
+		}
+		if !okMethod {
+			return nil, false
+		}
+		h.IsRequest = true
+		h.Method = string(parts[0])
+		h.Path = string(parts[1])
+	}
+	// Scan a few headers.
+	rest := b
+	if lineEnd < len(b) {
+		rest = b[lineEnd+1:]
+	} else {
+		rest = nil
+	}
+	for len(rest) > 0 {
+		eol := bytes.IndexByte(rest, '\n')
+		var hl []byte
+		if eol < 0 {
+			hl, rest = rest, nil
+		} else {
+			hl, rest = rest[:eol], rest[eol+1:]
+		}
+		hl = bytes.TrimRight(hl, "\r")
+		if len(hl) == 0 {
+			break // end of headers
+		}
+		colon := bytes.IndexByte(hl, ':')
+		if colon < 0 {
+			continue
+		}
+		key := string(bytes.ToLower(bytes.TrimSpace(hl[:colon])))
+		val := string(bytes.TrimSpace(hl[colon+1:]))
+		switch key {
+		case "host":
+			h.Host = val
+		case "user-agent":
+			h.UserAgent = val
+		case "content-length":
+			if n, err := strconv.Atoi(val); err == nil {
+				h.ContentLength = n
+			}
+		}
+	}
+	return h, true
+}
+
+// EncodeHTTPRequest builds a simple HTTP/1.1 request payload for the
+// traffic simulator.
+func EncodeHTTPRequest(method, path, host string, bodyLen int) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(method)
+	buf.WriteByte(' ')
+	buf.WriteString(path)
+	buf.WriteString(" HTTP/1.1\r\nHost: ")
+	buf.WriteString(host)
+	buf.WriteString("\r\nUser-Agent: iot-device/1.0\r\n")
+	if bodyLen > 0 {
+		buf.WriteString("Content-Length: ")
+		buf.WriteString(strconv.Itoa(bodyLen))
+		buf.WriteString("\r\n")
+	}
+	buf.WriteString("\r\n")
+	for i := 0; i < bodyLen; i++ {
+		buf.WriteByte(byte('a' + i%26))
+	}
+	return buf.Bytes()
+}
+
+// EncodeHTTPResponse builds a simple HTTP/1.1 response payload.
+func EncodeHTTPResponse(status int, bodyLen int) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("HTTP/1.1 ")
+	buf.WriteString(strconv.Itoa(status))
+	buf.WriteString(" X\r\nContent-Length: ")
+	buf.WriteString(strconv.Itoa(bodyLen))
+	buf.WriteString("\r\n\r\n")
+	for i := 0; i < bodyLen; i++ {
+		buf.WriteByte(byte('a' + i%26))
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,174 @@
+// Package pcap reads and writes classic libpcap capture files (the format
+// every dataset the paper benchmarks ships in). It supports microsecond
+// and nanosecond timestamp magic in both byte orders on the read side and
+// writes little-endian microsecond files, the most widely compatible
+// variant.
+package pcap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"lumen/internal/netpkt"
+)
+
+// Magic numbers of the classic pcap format.
+const (
+	magicUsec = 0xa1b2c3d4
+	magicNsec = 0xa1b23c4d
+)
+
+// DefaultSnapLen is the snapshot length written to file headers.
+const DefaultSnapLen = 65535
+
+// ErrBadMagic is returned when the stream does not start with a pcap
+// global header.
+var ErrBadMagic = errors.New("pcap: bad magic number")
+
+// Reader decodes packets from a pcap stream.
+type Reader struct {
+	r       *bufio.Reader
+	order   binary.ByteOrder
+	nanos   bool
+	link    netpkt.LinkType
+	snapLen uint32
+	hdr     [16]byte
+}
+
+// NewReader parses the global header and prepares to stream packets.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var gh [24]byte
+	if _, err := io.ReadFull(br, gh[:]); err != nil {
+		return nil, fmt.Errorf("pcap: reading global header: %w", err)
+	}
+	rd := &Reader{r: br}
+	magicLE := binary.LittleEndian.Uint32(gh[0:4])
+	magicBE := binary.BigEndian.Uint32(gh[0:4])
+	switch {
+	case magicLE == magicUsec:
+		rd.order = binary.LittleEndian
+	case magicLE == magicNsec:
+		rd.order, rd.nanos = binary.LittleEndian, true
+	case magicBE == magicUsec:
+		rd.order = binary.BigEndian
+	case magicBE == magicNsec:
+		rd.order, rd.nanos = binary.BigEndian, true
+	default:
+		return nil, ErrBadMagic
+	}
+	rd.snapLen = rd.order.Uint32(gh[16:20])
+	rd.link = netpkt.LinkType(rd.order.Uint32(gh[20:24]))
+	return rd, nil
+}
+
+// LinkType reports the capture's link type.
+func (r *Reader) LinkType() netpkt.LinkType { return r.link }
+
+// SnapLen reports the capture's snapshot length.
+func (r *Reader) SnapLen() uint32 { return r.snapLen }
+
+// Next returns the next raw record. It returns io.EOF cleanly at end of
+// stream. The returned data slice is freshly allocated.
+func (r *Reader) Next() (ts time.Time, data []byte, origLen int, err error) {
+	if _, err = io.ReadFull(r.r, r.hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			err = io.EOF
+		}
+		return time.Time{}, nil, 0, err
+	}
+	sec := r.order.Uint32(r.hdr[0:4])
+	sub := r.order.Uint32(r.hdr[4:8])
+	incl := r.order.Uint32(r.hdr[8:12])
+	orig := r.order.Uint32(r.hdr[12:16])
+	if incl > r.snapLen && r.snapLen > 0 && incl > DefaultSnapLen {
+		return time.Time{}, nil, 0, fmt.Errorf("pcap: record length %d exceeds snaplen", incl)
+	}
+	data = make([]byte, int(incl))
+	if _, err = io.ReadFull(r.r, data); err != nil {
+		return time.Time{}, nil, 0, fmt.Errorf("pcap: truncated record: %w", err)
+	}
+	nsec := int64(sub)
+	if !r.nanos {
+		nsec *= 1000
+	}
+	return time.Unix(int64(sec), nsec).UTC(), data, int(orig), nil
+}
+
+// NextPacket reads and decodes the next packet.
+func (r *Reader) NextPacket() (*netpkt.Packet, error) {
+	ts, data, _, err := r.Next()
+	if err != nil {
+		return nil, err
+	}
+	return netpkt.Decode(data, r.link, ts), nil
+}
+
+// ReadAll decodes every remaining packet in the stream.
+func (r *Reader) ReadAll() ([]*netpkt.Packet, error) {
+	var out []*netpkt.Packet
+	for {
+		p, err := r.NextPacket()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+	}
+}
+
+// Writer encodes packets to a pcap stream.
+type Writer struct {
+	w     *bufio.Writer
+	nanos bool
+}
+
+// NewWriter writes a little-endian global header for the given link type.
+func NewWriter(w io.Writer, link netpkt.LinkType) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var gh [24]byte
+	binary.LittleEndian.PutUint32(gh[0:4], magicUsec)
+	binary.LittleEndian.PutUint16(gh[4:6], 2)
+	binary.LittleEndian.PutUint16(gh[6:8], 4)
+	binary.LittleEndian.PutUint32(gh[16:20], DefaultSnapLen)
+	binary.LittleEndian.PutUint32(gh[20:24], uint32(link))
+	if _, err := bw.Write(gh[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// WriteRaw appends one record with the given timestamp.
+func (w *Writer) WriteRaw(ts time.Time, data []byte) error {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(ts.Unix()))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(ts.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(data)))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(data)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(data)
+	return err
+}
+
+// WritePacket serializes the packet if needed and appends it.
+func (w *Writer) WritePacket(p *netpkt.Packet) error {
+	data := p.Data
+	if len(data) == 0 {
+		var err error
+		if data, err = p.Serialize(); err != nil {
+			return err
+		}
+	}
+	return w.WriteRaw(p.Ts, data)
+}
+
+// Flush drains the internal buffer to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
