@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test bench race vet check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+vet:
+	$(GO) vet ./...
+
+# race runs the concurrency-sensitive packages (engine/cache singleflight,
+# benchsuite worker pool) under the race detector.
+race:
+	$(GO) test -race ./internal/core/... ./internal/benchsuite/...
+
+# check is the CI gate: static analysis plus race-clean concurrency paths.
+check: vet race
+	$(GO) build ./...

@@ -357,6 +357,33 @@ func BenchmarkAblationParallelism(b *testing.B) {
 	b.Run("parallel", func(b *testing.B) { run(b, 0) })
 }
 
+// BenchmarkAblationProfiling measures a multi-worker suite run with
+// per-op allocation profiling off (the default — Engine.run performs no
+// memory-stat reads at all) against profiling on. The seed code issued
+// two stop-the-world runtime.ReadMemStats calls per op unconditionally,
+// which serialized the whole worker pool; "profiling-off" here is the
+// direct comparison point for that behaviour.
+func BenchmarkAblationProfiling(b *testing.B) {
+	run := func(b *testing.B, profile bool) {
+		for i := 0; i < b.N; i++ {
+			s, err := benchsuite.New(benchsuite.Config{
+				Scale: benchScale, Seed: 7, Profile: profile,
+				AlgIDs:     []string{"A13", "A14", "A15"},
+				DatasetIDs: []string{"F1", "F4", "F6", "F9"},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.RunAll()
+			if profile && len(s.OpProfiles()) == 0 {
+				b.Fatal("profiling on but no per-op profile aggregated")
+			}
+		}
+	}
+	b.Run("profiling-off", func(b *testing.B) { run(b, false) })
+	b.Run("profiling-on", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkAblationDampedStats compares O(1) damped incremental stats
 // (Kitsune's AfterImage) against recomputing a sliding window per packet.
 func BenchmarkAblationDampedStats(b *testing.B) {
@@ -482,9 +509,13 @@ func BenchmarkAblationSharedCache(b *testing.B) {
 			}
 			s.RunAll()
 			if !noCache {
-				hits, _ := s.CacheStats()
-				if hits == 0 {
+				st := s.CacheStats()
+				if st.Hits == 0 {
 					b.Fatal("cache never hit")
+				}
+				if st.Misses != st.Entries+st.Evictions {
+					b.Fatalf("cache computed %d keys but holds %d (+%d evicted): singleflight dedup broken",
+						st.Misses, st.Entries, st.Evictions)
 				}
 			}
 		}

@@ -91,6 +91,8 @@ func run(algID, pipelineF, trainID, testID, trainPcap, trainLabels, testPcap, te
 
 	eng := core.NewEngine(p)
 	eng.Seed = seed
+	// Allocation sampling is opt-in; wall timing is always recorded.
+	eng.Profiling = profile
 	fmt.Printf("pipeline %q (%s granularity)\n", p.Name, p.Granularity)
 	if g, err := p.Granular(); err == nil {
 		if !dataset.CanFaithfullyRun(g, trainDS.Granularity) || !dataset.CanFaithfullyRun(g, testDS.Granularity) {

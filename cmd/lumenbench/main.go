@@ -11,12 +11,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"lumen/internal/benchsuite"
 	"lumen/internal/report"
@@ -24,29 +26,63 @@ import (
 
 func main() {
 	var (
-		scale    = flag.Float64("scale", 0.6, "dataset scale factor (1.0 = full synthetic size)")
-		seed     = flag.Int64("seed", 7, "random seed")
-		fig      = flag.String("fig", "all", "which output: all, table1, 1a, 5, 6, 7, 8, 9, 10, validate, obs2, features")
-		algs     = flag.String("algs", "", "comma-separated algorithm IDs (default: all 16)")
-		datasets = flag.String("datasets", "", "comma-separated dataset IDs (default: all 15)")
-		out      = flag.String("out", "", "directory to write results.json and CSV figures")
+		scale      = flag.Float64("scale", 0.6, "dataset scale factor (1.0 = full synthetic size)")
+		seed       = flag.Int64("seed", 7, "random seed")
+		fig        = flag.String("fig", "all", "which output: "+strings.Join(validFigs, ", "))
+		algs       = flag.String("algs", "", "comma-separated algorithm IDs (default: all 16)")
+		datasets   = flag.String("datasets", "", "comma-separated dataset IDs (default: all 15)")
+		out        = flag.String("out", "", "directory to write results.json and CSV figures")
+		workers    = flag.Int("workers", 0, "worker-pool size for suite runs (0 = GOMAXPROCS)")
+		noCache    = flag.Bool("nocache", false, "disable the shared intermediate-result cache")
+		cacheEnt   = flag.Int("cache-entries", 0, "bound the shared cache to N entries with LRU eviction (0 = unbounded)")
+		profile    = flag.Bool("profile", false, "sample per-op allocations and print the aggregated per-op profile")
+		profileOut = flag.String("profile-out", "", "write the aggregated per-op profile as JSON to this file")
 	)
 	flag.Parse()
 
-	cfg := benchsuite.Config{Scale: *scale, Seed: *seed}
-	if *algs != "" {
-		cfg.AlgIDs = strings.Split(*algs, ",")
+	cfg := benchsuite.Config{
+		Scale:        *scale,
+		Seed:         *seed,
+		Workers:      *workers,
+		NoCache:      *noCache,
+		CacheEntries: *cacheEnt,
+		Profile:      *profile,
+		AlgIDs:       splitIDs(*algs),
+		DatasetIDs:   splitIDs(*datasets),
 	}
-	if *datasets != "" {
-		cfg.DatasetIDs = strings.Split(*datasets, ",")
-	}
-	if err := run(cfg, *fig, *out); err != nil {
+	if err := run(cfg, *fig, *out, *profile, *profileOut); err != nil {
 		fmt.Fprintln(os.Stderr, "lumenbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg benchsuite.Config, fig, out string) error {
+// validFigs lists every -fig value run accepts.
+var validFigs = []string{"all", "table1", "1a", "1b", "1c", "5", "6", "7", "8", "9", "10", "validate", "obs2", "features"}
+
+// splitIDs splits a comma-separated scope flag, trimming whitespace
+// around each token and dropping empty ones, so "A13, A14," selects two
+// algorithms instead of passing " A14" and "" through to the suite.
+func splitIDs(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+func run(cfg benchsuite.Config, fig, out string, profile bool, profileOut string) error {
+	known := false
+	for _, id := range validFigs {
+		if fig == id {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown -fig %q (valid: %s)", fig, strings.Join(validFigs, ", "))
+	}
 	want := func(ids ...string) bool {
 		if fig == "all" {
 			return true
@@ -94,7 +130,15 @@ func run(cfg benchsuite.Config, fig, out string) error {
 		fmt.Printf("running suite: %d algorithms x %d datasets (scale %.2f)\n",
 			len(s.Algorithms()), len(s.DatasetIDs()), cfg.Scale)
 		s.RunAll()
-		fmt.Printf("completed %d runs\n\n", len(s.Store.Results))
+		m := s.Store.Meta
+		fmt.Printf("completed %d runs in %v (%d workers, %.0f%% utilization)\n",
+			len(s.Store.Results), m.Wall.Round(time.Millisecond), m.Workers, m.Utilization*100)
+		if !cfg.NoCache {
+			cs := s.CacheStats()
+			fmt.Printf("shared cache: %d hits, %d computations, %d dedup-waits, %d evictions, %d entries (~%s)\n",
+				cs.Hits, cs.Misses, cs.DedupWaits, cs.Evictions, cs.Entries, report.HumanBytes(cs.Bytes))
+		}
+		fmt.Println()
 
 		if want("5") {
 			h := s.Fig5()
@@ -174,6 +218,29 @@ func run(cfg benchsuite.Config, fig, out string) error {
 		}
 		fmt.Println("== §5.2 validation: Lumen vs originally reported scores ==")
 		fmt.Println(benchsuite.ValidationTable(rows))
+	}
+
+	if profs := s.OpProfiles(); len(profs) > 0 {
+		if profile {
+			fmt.Println("== per-operation profile (aggregated across runs) ==")
+			t := &report.Table{Header: []string{"op", "runs", "cached", "total wall", "allocs"}}
+			for _, p := range profs {
+				t.Add(p.Func, fmt.Sprintf("%d", p.Count), fmt.Sprintf("%d", p.Cached),
+					p.Wall.Round(time.Microsecond).String(), report.HumanBytes(int64(p.Allocs)))
+			}
+			fmt.Print(t)
+			fmt.Println()
+		}
+		if profileOut != "" {
+			data, err := json.MarshalIndent(profs, "", " ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(profileOut, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Println("wrote per-op profile to", profileOut)
+		}
 	}
 
 	if out != "" {

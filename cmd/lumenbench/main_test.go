@@ -1,16 +1,20 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"lumen/internal/benchsuite"
 )
 
 func TestRunStaticFigures(t *testing.T) {
-	if err := run(benchsuite.Config{Scale: 0.2, Seed: 1}, "table1", ""); err != nil {
+	if err := run(benchsuite.Config{Scale: 0.2, Seed: 1}, "table1", "", false, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(benchsuite.Config{Scale: 0.2, Seed: 1}, "1a", ""); err != nil {
+	if err := run(benchsuite.Config{Scale: 0.2, Seed: 1}, "1a", "", false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -25,7 +29,7 @@ func TestRunScopedFigure(t *testing.T) {
 		AlgIDs:     []string{"A14", "A15"},
 		DatasetIDs: []string{"F1", "F4"},
 	}
-	if err := run(cfg, "8", t.TempDir()); err != nil {
+	if err := run(cfg, "8", t.TempDir(), false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -40,13 +44,96 @@ func TestRunValidateScoped(t *testing.T) {
 		AlgIDs:     []string{"A07", "A10", "A14"},
 		DatasetIDs: []string{"F0", "F1", "F2", "F4"},
 	}
-	if err := run(cfg, "validate", ""); err != nil {
+	if err := run(cfg, "validate", "", false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadScope(t *testing.T) {
-	if err := run(benchsuite.Config{AlgIDs: []string{"A99"}}, "8", ""); err == nil {
+	if err := run(benchsuite.Config{AlgIDs: []string{"A99"}}, "8", "", false, ""); err == nil {
 		t.Fatal("unknown algorithm scope should fail")
+	}
+}
+
+func TestSplitIDsTrimsTokens(t *testing.T) {
+	got := splitIDs(" A13, A14 ,,A15, ")
+	want := []string{"A13", "A14", "A15"}
+	if len(got) != len(want) {
+		t.Fatalf("splitIDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitIDs = %v, want %v", got, want)
+		}
+	}
+	if splitIDs("") != nil {
+		t.Fatal("empty scope must stay nil (= all)")
+	}
+}
+
+func TestRunRejectsUnknownFig(t *testing.T) {
+	err := run(benchsuite.Config{Scale: 0.2, Seed: 1}, "42", "", false, "")
+	if err == nil {
+		t.Fatal("unknown -fig value should fail, not silently print nothing")
+	}
+	if !strings.Contains(err.Error(), "42") || !strings.Contains(err.Error(), "1b") {
+		t.Fatalf("error should name the bad value and list valid ones: %v", err)
+	}
+}
+
+func TestRunAcceptsFig1bAnd1c(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	cfg := benchsuite.Config{
+		Scale:      0.2,
+		Seed:       1,
+		AlgIDs:     []string{"A14"},
+		DatasetIDs: []string{"F1", "F4"},
+	}
+	for _, fig := range []string{"1b", "1c"} {
+		if err := run(cfg, fig, "", false, ""); err != nil {
+			t.Fatalf("-fig %s: %v", fig, err)
+		}
+	}
+}
+
+func TestRunWritesProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	cfg := benchsuite.Config{
+		Scale:      0.2,
+		Seed:       1,
+		Profile:    true,
+		AlgIDs:     []string{"A14"},
+		DatasetIDs: []string{"F1"},
+	}
+	path := filepath.Join(t.TempDir(), "profile.json")
+	if err := run(cfg, "8", "", true, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var profs []benchsuite.OpProfile
+	if err := json.Unmarshal(data, &profs); err != nil {
+		t.Fatal(err)
+	}
+	if len(profs) == 0 {
+		t.Fatal("profile JSON is empty")
+	}
+	var sawAllocs bool
+	for _, p := range profs {
+		if p.Count <= 0 {
+			t.Errorf("op %s has count %d", p.Func, p.Count)
+		}
+		if p.Allocs > 0 {
+			sawAllocs = true
+		}
+	}
+	if !sawAllocs {
+		t.Error("profiling on but no op recorded allocations")
 	}
 }

@@ -3,6 +3,7 @@ package benchsuite
 import (
 	"math"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"lumen/internal/dataset"
@@ -297,5 +298,125 @@ func TestSynthesisEvalScoresPipelines(t *testing.T) {
 	score := eval(a14.Pipeline)
 	if score <= 0 || score > 1 {
 		t.Fatalf("eval score = %v, want in (0,1]", score)
+	}
+}
+
+func TestNewNamesUnknownIDsAmongValid(t *testing.T) {
+	// A typo'd ID among valid ones must error, not silently shrink the suite.
+	_, err := New(Config{AlgIDs: []string{"A14", "A99"}, DatasetIDs: []string{"F1"}})
+	if err == nil || !strings.Contains(err.Error(), "A99") {
+		t.Errorf("error should name the unknown algorithm ID: %v", err)
+	}
+	_, err = New(Config{DatasetIDs: []string{"F1", "f4"}})
+	if err == nil || !strings.Contains(err.Error(), "f4") {
+		t.Errorf("error should name the unknown dataset ID: %v", err)
+	}
+}
+
+func TestRunAllRecordsMetaAndWall(t *testing.T) {
+	s := fastSuite(t, []string{"A14", "A15"}, []string{"F1", "F4"})
+	s.cfg.Workers = 2
+	s.RunSameDataset()
+	m := s.Store.Meta
+	if m.Runs != len(s.Store.Results) || m.Runs == 0 {
+		t.Fatalf("meta.Runs=%d, results=%d", m.Runs, len(s.Store.Results))
+	}
+	if m.Workers != 2 {
+		t.Errorf("meta.Workers=%d, want 2", m.Workers)
+	}
+	if m.Wall <= 0 || m.Busy <= 0 {
+		t.Errorf("wall=%v busy=%v, want positive", m.Wall, m.Busy)
+	}
+	if m.Utilization <= 0 || m.Utilization > 1.5 {
+		t.Errorf("utilization=%v out of range", m.Utilization)
+	}
+	for _, r := range s.Store.Results {
+		if r.OK() && r.Wall <= 0 {
+			t.Errorf("run %s/%s has no wall time", r.Alg, r.TrainDS)
+		}
+	}
+}
+
+func TestSuiteSingleflightOneComputationPerKey(t *testing.T) {
+	// Many algorithms share the flow_assemble/flow_features prefix on the
+	// same dataset; with a multi-worker pool the first wave used to
+	// recompute the same key once per worker. Singleflight must keep it
+	// to one computation per distinct key: every miss leaves an entry.
+	s, err := New(Config{
+		Scale: 0.3, Seed: 1, Workers: 4,
+		AlgIDs:     []string{"A07", "A08", "A09", "A13", "A14", "A15"},
+		DatasetIDs: []string{"F1", "F4"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunSameDataset()
+	st := s.CacheStats()
+	if st.Misses == 0 {
+		t.Fatal("no cache activity")
+	}
+	if st.Misses != st.Entries+st.Evictions {
+		t.Errorf("misses=%d entries=%d evictions=%d: some key was computed more than once",
+			st.Misses, st.Entries, st.Evictions)
+	}
+	if st.Hits == 0 {
+		t.Error("no cache hits across algorithms sharing a prefix")
+	}
+}
+
+func TestCacheEntriesBoundEvicts(t *testing.T) {
+	s, err := New(Config{
+		Scale: 0.3, Seed: 1, CacheEntries: 2,
+		AlgIDs:     []string{"A13", "A14", "A15"},
+		DatasetIDs: []string{"F1", "F4"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunSameDataset()
+	st := s.CacheStats()
+	if st.Entries > 2 {
+		t.Errorf("entries=%d exceeds the configured bound 2", st.Entries)
+	}
+	if st.Evictions == 0 {
+		t.Error("bound of 2 over a multi-alg run must evict")
+	}
+}
+
+func TestOpProfilesAggregate(t *testing.T) {
+	s, err := New(Config{
+		Scale: 0.3, Seed: 1, Profile: true,
+		AlgIDs:     []string{"A14"},
+		DatasetIDs: []string{"F1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunSameDataset()
+	profs := s.OpProfiles()
+	if len(profs) == 0 {
+		t.Fatal("no per-op profiles aggregated")
+	}
+	var sawCached, sawAllocs bool
+	for _, p := range profs {
+		if p.Count <= 0 {
+			t.Errorf("op %s count=%d", p.Func, p.Count)
+		}
+		if p.Cached > 0 {
+			sawCached = true
+		}
+		if p.Allocs > 0 {
+			sawAllocs = true
+		}
+	}
+	_ = sawCached // a single run may or may not hit the cache
+	if !sawAllocs {
+		t.Error("profiling on but no op recorded allocations")
+	}
+	// Sorted by total wall, descending.
+	for i := 1; i < len(profs); i++ {
+		if profs[i].Wall > profs[i-1].Wall {
+			t.Errorf("profiles not sorted by wall time at %d", i)
+		}
 	}
 }

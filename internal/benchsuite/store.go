@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"sort"
+	"time"
 )
 
 // Score is a precision/recall pair over N evaluated units.
@@ -27,7 +28,9 @@ type RunResult struct {
 	F1        float64          `json:"f1"`
 	AUC       float64          `json:"auc"`
 	PerAttack map[string]Score `json:"per_attack,omitempty"`
-	Err       string           `json:"err,omitempty"`
+	// Wall is the end-to-end train+test time of this run.
+	Wall time.Duration `json:"wall_ns,omitempty"`
+	Err  string        `json:"err,omitempty"`
 }
 
 // Same reports whether train and test come from the same dataset.
@@ -36,11 +39,24 @@ func (r RunResult) Same() bool { return r.TrainDS == r.TestDS }
 // OK reports whether the run completed.
 func (r RunResult) OK() bool { return r.Err == "" }
 
+// Meta summarizes how the worker pool performed across every runAll
+// batch: total batch wall time, summed per-run busy time, and the
+// resulting worker utilization (Busy / (Wall × Workers), 1.0 = every
+// worker busy the whole time).
+type Meta struct {
+	Runs        int           `json:"runs,omitempty"`
+	Workers     int           `json:"workers,omitempty"`
+	Wall        time.Duration `json:"wall_ns,omitempty"`
+	Busy        time.Duration `json:"busy_ns,omitempty"`
+	Utilization float64       `json:"utilization,omitempty"`
+}
+
 // Store accumulates results and answers the queries the figures need.
 // It serializes to JSON ("Lumen stores all results in a query-friendly
 // format").
 type Store struct {
 	Results []RunResult `json:"results"`
+	Meta    Meta        `json:"meta,omitempty"`
 }
 
 // Filter returns the results satisfying pred.

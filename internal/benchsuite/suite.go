@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"lumen/internal/algorithms"
 	"lumen/internal/core"
@@ -35,6 +36,13 @@ type Config struct {
 	// ablation benchmarks; the paper's evaluation pipeline shares
 	// intermediates across algorithms).
 	NoCache bool
+	// CacheEntries bounds the shared cache's entry count with LRU
+	// eviction; 0 means unbounded.
+	CacheEntries int
+	// Profile enables per-op allocation sampling on every engine
+	// (core.Engine.Profiling) and per-op profile aggregation across runs.
+	// Wall-clock per-op timing is collected regardless.
+	Profile bool
 }
 
 func (c Config) scale() float64 {
@@ -53,6 +61,20 @@ type Suite struct {
 	order  []string // dataset IDs in registry order
 	cache  *core.Cache
 	Store  *Store
+
+	profMu sync.Mutex
+	prof   map[string]*OpProfile
+}
+
+// OpProfile aggregates the cost of one operation across every run of the
+// suite: how often it executed, how often the shared cache served it,
+// and the total wall time and (when profiling is on) allocated bytes.
+type OpProfile struct {
+	Func   string        `json:"func"`
+	Count  int           `json:"count"`
+	Cached int           `json:"cached"`
+	Wall   time.Duration `json:"wall_ns"`
+	Allocs uint64        `json:"allocs_bytes"`
 }
 
 // split holds one dataset's train/test halves. The split interleaves
@@ -67,14 +89,22 @@ type split struct {
 
 // New builds a suite: datasets are generated eagerly (they are shared
 // across runs — the intermediate-reuse optimization the paper describes).
+// A scope naming an ID absent from the registry is an error, not a
+// silently smaller suite — a typo'd ID among valid ones must not shrink
+// the comparison without warning.
 func New(cfg Config) (*Suite, error) {
-	s := &Suite{cfg: cfg, splits: map[string]*split{}, Store: &Store{}}
+	s := &Suite{cfg: cfg, splits: map[string]*split{}, Store: &Store{}, prof: map[string]*OpProfile{}}
 	if !cfg.NoCache {
 		s.cache = core.NewCache()
+		s.cache.SetLimit(cfg.CacheEntries)
 	}
-	want := map[string]bool{}
-	for _, id := range cfg.DatasetIDs {
-		want[id] = true
+	dsIDs := make([]string, 0, len(dataset.Registry()))
+	for _, spec := range dataset.Registry() {
+		dsIDs = append(dsIDs, spec.ID)
+	}
+	want, err := idSet(cfg.DatasetIDs, dsIDs, "dataset")
+	if err != nil {
+		return nil, err
 	}
 	for _, spec := range dataset.Registry() {
 		if len(want) > 0 && !want[spec.ID] {
@@ -88,9 +118,13 @@ func New(cfg Config) (*Suite, error) {
 	if len(s.order) == 0 {
 		return nil, fmt.Errorf("benchsuite: no datasets selected")
 	}
-	wantAlg := map[string]bool{}
-	for _, id := range cfg.AlgIDs {
-		wantAlg[id] = true
+	algIDs := make([]string, 0, len(algorithms.All()))
+	for _, a := range algorithms.All() {
+		algIDs = append(algIDs, a.ID)
+	}
+	wantAlg, err := idSet(cfg.AlgIDs, algIDs, "algorithm")
+	if err != nil {
+		return nil, err
 	}
 	for _, a := range algorithms.All() {
 		if len(wantAlg) > 0 && !wantAlg[a.ID] {
@@ -102,6 +136,29 @@ func New(cfg Config) (*Suite, error) {
 		return nil, fmt.Errorf("benchsuite: no algorithms selected")
 	}
 	return s, nil
+}
+
+// idSet builds a membership set from a scope list, rejecting (and
+// naming) any ID that is not in the registry's known list.
+func idSet(scope, known []string, kind string) (map[string]bool, error) {
+	knownSet := make(map[string]bool, len(known))
+	for _, id := range known {
+		knownSet[id] = true
+	}
+	set := map[string]bool{}
+	var unknown []string
+	for _, id := range scope {
+		if !knownSet[id] {
+			unknown = append(unknown, id)
+			continue
+		}
+		set[id] = true
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("benchsuite: unknown %s IDs %v (known: %v)", kind, unknown, known)
+	}
+	return set, nil
 }
 
 // Algorithms returns the algorithms in scope.
@@ -151,18 +208,24 @@ func CanRun(alg algorithms.Algorithm, train, test *split) bool {
 }
 
 // runOne trains alg on train packets and evaluates on test packets.
-func (s *Suite) runOne(alg algorithms.Algorithm, trainID, testID string, trainDS, testDS *dataset.Labeled) RunResult {
-	rr := RunResult{Alg: alg.ID, TrainDS: trainID, TestDS: testID, Faithful: true}
+func (s *Suite) runOne(alg algorithms.Algorithm, trainID, testID string, trainDS, testDS *dataset.Labeled) (rr RunResult) {
+	rr = RunResult{Alg: alg.ID, TrainDS: trainID, TestDS: testID, Faithful: true}
+	start := time.Now()
+	defer func() { rr.Wall = time.Since(start) }()
 	eng := core.NewEngine(alg.Pipeline)
+	eng.Profiling = s.cfg.Profile
 	if s.cache != nil {
 		eng.SetCache(s.cache)
 	}
 	eng.Seed = s.cfg.Seed + int64(hash(alg.ID+trainID+testID))
-	if err := eng.Train(trainDS); err != nil {
+	err := eng.Train(trainDS)
+	s.recordProfile(eng.Profile)
+	if err != nil {
 		rr.Err = err.Error()
 		return rr
 	}
 	res, err := eng.Test(testDS)
+	s.recordProfile(eng.Profile)
 	if err != nil {
 		rr.Err = err.Error()
 		return rr
@@ -216,8 +279,12 @@ type task struct {
 }
 
 // runAll executes tasks on a worker pool (the Ray-style parallel
-// evaluation of the paper) and appends results to the store.
+// evaluation of the paper) and appends results to the store, updating
+// the store's batch metadata (wall time, busy time, utilization).
 func (s *Suite) runAll(tasks []task) {
+	if len(tasks) == 0 {
+		return
+	}
 	workers := s.cfg.Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -228,6 +295,7 @@ func (s *Suite) runAll(tasks []task) {
 	if workers < 1 {
 		workers = 1
 	}
+	batchStart := time.Now()
 	results := make([]RunResult, len(tasks))
 	var wg sync.WaitGroup
 	ch := make(chan int)
@@ -247,6 +315,19 @@ func (s *Suite) runAll(tasks []task) {
 	close(ch)
 	wg.Wait()
 	s.Store.Results = append(s.Store.Results, results...)
+
+	meta := &s.Store.Meta
+	meta.Runs += len(tasks)
+	if workers > meta.Workers {
+		meta.Workers = workers
+	}
+	meta.Wall += time.Since(batchStart)
+	for i := range results {
+		meta.Busy += results[i].Wall
+	}
+	if meta.Workers > 0 && meta.Wall > 0 {
+		meta.Utilization = float64(meta.Busy) / (float64(meta.Wall) * float64(meta.Workers))
+	}
 }
 
 // RunSameDataset evaluates every algorithm on every faithful dataset
@@ -325,11 +406,52 @@ func (s *Suite) sortedAttacks() []string {
 	return out
 }
 
-// CacheStats reports the shared cache's hits and misses (0,0 when the
-// cache is disabled).
-func (s *Suite) CacheStats() (hits, misses int) {
+// recordProfile merges one engine run's per-op stats into the suite's
+// cross-run aggregate. Safe to call from worker goroutines.
+func (s *Suite) recordProfile(stats []core.OpStats) {
+	if len(stats) == 0 {
+		return
+	}
+	s.profMu.Lock()
+	defer s.profMu.Unlock()
+	for _, st := range stats {
+		p := s.prof[st.Func]
+		if p == nil {
+			p = &OpProfile{Func: st.Func}
+			s.prof[st.Func] = p
+		}
+		p.Count++
+		if st.Cached {
+			p.Cached++
+		}
+		p.Wall += st.Wall
+		p.Allocs += st.Allocs
+	}
+}
+
+// OpProfiles returns the per-op cost aggregate across every run so far,
+// most expensive (by total wall time) first.
+func (s *Suite) OpProfiles() []OpProfile {
+	s.profMu.Lock()
+	defer s.profMu.Unlock()
+	out := make([]OpProfile, 0, len(s.prof))
+	for _, p := range s.prof {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Wall != out[j].Wall {
+			return out[i].Wall > out[j].Wall
+		}
+		return out[i].Func < out[j].Func
+	})
+	return out
+}
+
+// CacheStats reports the shared cache's activity counters (the zero
+// value when the cache is disabled).
+func (s *Suite) CacheStats() core.CacheStats {
 	if s.cache == nil {
-		return 0, 0
+		return core.CacheStats{}
 	}
 	return s.cache.Stats()
 }

@@ -203,6 +203,7 @@ func TestUniflowPipelineEndToEnd(t *testing.T) {
 func TestEngineProfileRecordsAllocs(t *testing.T) {
 	p, _ := ParsePipeline([]byte(fig4Template))
 	eng := NewEngine(p)
+	eng.Profiling = true
 	if err := eng.Train(smallDS(t, "P0")); err != nil {
 		t.Fatal(err)
 	}
@@ -214,5 +215,24 @@ func TestEngineProfileRecordsAllocs(t *testing.T) {
 	}
 	if !anyAllocs {
 		t.Error("profile recorded zero allocations for every op")
+	}
+}
+
+func TestEngineProfilingOffRecordsNoAllocs(t *testing.T) {
+	p, _ := ParsePipeline([]byte(fig4Template))
+	eng := NewEngine(p) // Profiling defaults to off
+	if err := eng.Train(smallDS(t, "P0")); err != nil {
+		t.Fatal(err)
+	}
+	if len(eng.Profile) != len(p.Ops) {
+		t.Fatalf("profile has %d entries, want %d", len(eng.Profile), len(p.Ops))
+	}
+	for _, st := range eng.Profile {
+		if st.Allocs != 0 {
+			t.Errorf("op %s recorded %d alloc bytes with profiling off", st.Func, st.Allocs)
+		}
+		if st.Wall < 0 {
+			t.Errorf("op %s has negative wall time", st.Func)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"container/list"
 	"encoding/json"
 	"fmt"
 	"sync"
@@ -19,46 +20,211 @@ import (
 // keys combine the op name, its canonical parameter encoding, and the
 // identity of its input values, so two pipelines reusing the same
 // upstream results hit the same entries.
+//
+// The cache is safe for concurrent use by many engines. Concurrent
+// misses on the same key are deduplicated singleflight-style: one caller
+// computes, the rest block until the result is published (counted as
+// DedupWaits in Stats). Cached values are shared by reference across
+// engines and MUST be treated as immutable by every op.
+//
+// SetLimit bounds the entry count; when exceeded, the least recently
+// used entries are evicted. Byte sizes are estimated per value so long
+// suite runs can observe cache growth via Stats().Bytes.
 type Cache struct {
-	mu sync.Mutex
-	m  map[string]Value
+	mu       sync.Mutex
+	maxEnt   int // 0 = unbounded
+	entries  map[string]*list.Element
+	lru      *list.List // front = most recently used
+	inflight map[string]*flight
+	bytes    int64
 
-	hits, misses int
+	hits, misses, dedupWaits, evictions int
 }
 
-// NewCache returns an empty shared cache.
-func NewCache() *Cache { return &Cache{m: make(map[string]Value)} }
+// cacheEntry is one LRU node.
+type cacheEntry struct {
+	key   string
+	val   Value
+	bytes int64
+}
 
-// Stats reports cache hits and misses so far.
-func (c *Cache) Stats() (hits, misses int) {
+// flight is one in-progress computation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	val  Value
+	err  error
+}
+
+// CacheStats is a snapshot of cache activity. Misses counts
+// computations actually started — under singleflight it equals the
+// number of distinct keys computed, while DedupWaits counts lookups
+// that blocked on another engine's in-flight computation instead of
+// recomputing.
+type CacheStats struct {
+	Hits       int   `json:"hits"`
+	Misses     int   `json:"misses"`
+	DedupWaits int   `json:"dedup_waits"`
+	Evictions  int   `json:"evictions"`
+	Entries    int   `json:"entries"`
+	Bytes      int64 `json:"bytes"`
+}
+
+// NewCache returns an empty shared cache with no entry bound.
+func NewCache() *Cache {
+	return &Cache{
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// SetLimit bounds the cache to at most n entries (0 = unbounded),
+// evicting least-recently-used entries immediately if over the bound.
+func (c *Cache) SetLimit(n int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	c.maxEnt = n
+	c.evict()
+}
+
+// Stats returns a snapshot of cache activity.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:       c.hits,
+		Misses:     c.misses,
+		DedupWaits: c.dedupWaits,
+		Evictions:  c.evictions,
+		Entries:    len(c.entries),
+		Bytes:      c.bytes,
+	}
 }
 
 // Len reports the number of cached values.
 func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.m)
+	return len(c.entries)
 }
 
-func (c *Cache) get(key string) (Value, bool) {
+// getOrCompute returns the value for key, running compute at most once
+// across all concurrent callers: a cached value is returned immediately;
+// a lookup that races an in-flight computation blocks until that
+// computation publishes; otherwise this caller computes and publishes.
+// computed reports whether THIS caller ran compute (for profiling
+// attribution). Errors are propagated to all waiters and never cached.
+func (c *Cache) getOrCompute(key string, compute func() (Value, error)) (v Value, err error, computed bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	v, ok := c.m[key]
-	if ok {
+	if el, ok := c.entries[key]; ok {
 		c.hits++
-	} else {
-		c.misses++
+		c.lru.MoveToFront(el)
+		v = el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return v, nil, false
 	}
-	return v, ok
+	if f, ok := c.inflight[key]; ok {
+		c.dedupWaits++
+		c.mu.Unlock()
+		<-f.done
+		return f.val, f.err, false
+	}
+	c.misses++
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	finished := false
+	defer func() {
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if finished && f.err == nil {
+			c.insert(key, f.val)
+		} else if !finished {
+			// compute panicked; unblock waiters with an error instead of
+			// leaving them parked forever, then let the panic propagate.
+			f.err = fmt.Errorf("core: cache: computation for key %q panicked", key)
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	f.val, f.err = compute()
+	finished = true
+	return f.val, f.err, true
 }
 
-func (c *Cache) put(key string, v Value) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.m[key] = v
+// insert adds a computed value and applies the LRU bound. Caller holds mu.
+func (c *Cache) insert(key string, v Value) {
+	if el, ok := c.entries[key]; ok {
+		old := el.Value.(*cacheEntry)
+		c.bytes -= old.bytes
+		c.lru.Remove(el)
+		delete(c.entries, key)
+	}
+	e := &cacheEntry{key: key, val: v, bytes: valueBytes(v)}
+	c.entries[key] = c.lru.PushFront(e)
+	c.bytes += e.bytes
+	c.evict()
+}
+
+// evict drops least-recently-used entries until within bound. Caller
+// holds mu.
+func (c *Cache) evict() {
+	for c.maxEnt > 0 && c.lru.Len() > c.maxEnt {
+		el := c.lru.Back()
+		e := el.Value.(*cacheEntry)
+		c.lru.Remove(el)
+		delete(c.entries, e.key)
+		c.bytes -= e.bytes
+		c.evictions++
+	}
+}
+
+// valueBytes estimates the resident size of a cached value. Estimates
+// ignore struct headers beyond a small per-element constant and may
+// double-count backing arrays shared between values (e.g. a Grouped and
+// the Frame it wraps); they exist for observability and eviction
+// accounting, not exact memory attribution.
+func valueBytes(v Value) int64 {
+	const hdr = 16 // string header / per-element bookkeeping
+	switch x := v.(type) {
+	case *Frame:
+		var b int64
+		for i := range x.Cols {
+			c := &x.Cols[i]
+			b += 8 * int64(len(c.F))
+			for _, s := range c.S {
+				b += hdr + int64(len(s))
+			}
+		}
+		b += 8 * int64(len(x.UnitIdx))
+		b += 8 * int64(len(x.Labels))
+		for _, a := range x.Attacks {
+			b += hdr + int64(len(a))
+		}
+		return b
+	case *Grouped:
+		b := valueBytes(x.F)
+		for _, g := range x.Groups {
+			b += 8 * int64(len(g))
+		}
+		b += 8 * int64(len(x.GroupOf))
+		for _, k := range x.Keys {
+			b += hdr + int64(len(k))
+		}
+		return b
+	case *Flows:
+		var b int64
+		for _, u := range x.Unis {
+			b += 96 + 8*int64(len(u.PacketIdx))
+		}
+		for _, cn := range x.Conns {
+			b += 160 + 8*int64(len(cn.OrigIdx)+len(cn.RespIdx))
+		}
+		return b
+	default:
+		return 0
+	}
 }
 
 // cacheKey builds the identity of one op invocation, or ok=false when

@@ -1,7 +1,12 @@
 package core
 
 import (
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"lumen/internal/mlkit"
 )
@@ -26,9 +31,12 @@ func TestCacheHitsAcrossEngines(t *testing.T) {
 	if err := e1.Train(ds); err != nil {
 		t.Fatal(err)
 	}
-	h, m := cache.Stats()
-	if h != 0 || m == 0 {
-		t.Fatalf("first run: hits=%d misses=%d, want 0 hits", h, m)
+	st := cache.Stats()
+	if st.Hits != 0 || st.Misses == 0 {
+		t.Fatalf("first run: hits=%d misses=%d, want 0 hits", st.Hits, st.Misses)
+	}
+	if st.Entries == 0 || st.Bytes <= 0 {
+		t.Fatalf("first run: entries=%d bytes=%d, want nonzero size accounting", st.Entries, st.Bytes)
 	}
 
 	// Second engine, same dataset: flow ops must be served from cache.
@@ -37,8 +45,7 @@ func TestCacheHitsAcrossEngines(t *testing.T) {
 	if err := e2.Train(ds); err != nil {
 		t.Fatal(err)
 	}
-	h2, _ := cache.Stats()
-	if h2 < 2 { // flow_assemble + flow_features
+	if h2 := cache.Stats().Hits; h2 < 2 { // flow_assemble + flow_features
 		t.Fatalf("second run hits = %d, want >= 2", h2)
 	}
 	cachedOps := 0
@@ -105,5 +112,239 @@ func TestCacheDisabledByDefault(t *testing.T) {
 		if st.Cached {
 			t.Fatal("no cache attached, nothing may be marked cached")
 		}
+	}
+}
+
+// TestCacheSingleflightDedup proves N concurrent misses on one key run
+// the compute function exactly once: one caller computes, the rest block
+// and share the published result.
+func TestCacheSingleflightDedup(t *testing.T) {
+	c := NewCache()
+	const n = 8
+	var calls int32
+	start := make(chan struct{})
+	vals := make([]Value, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			v, err, _ := c.getOrCompute("k", func() (Value, error) {
+				atomic.AddInt32(&calls, 1)
+				time.Sleep(20 * time.Millisecond) // widen the race window
+				return NewFrame(3), nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			vals[i] = v
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("compute ran %d times for one key, want 1", calls)
+	}
+	for i := 1; i < n; i++ {
+		if vals[i] != vals[0] {
+			t.Fatalf("caller %d got a different value pointer", i)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (one computation)", st.Misses)
+	}
+	if st.Hits+st.DedupWaits != n-1 {
+		t.Errorf("hits+dedupWaits = %d, want %d", st.Hits+st.DedupWaits, n-1)
+	}
+}
+
+// TestCacheSingleflightError proves errors reach every waiter and are
+// never cached.
+func TestCacheSingleflightError(t *testing.T) {
+	c := NewCache()
+	wantErr := fmt.Errorf("boom")
+	_, err, computed := c.getOrCompute("k", func() (Value, error) { return nil, wantErr })
+	if err != wantErr || !computed {
+		t.Fatalf("got err=%v computed=%v", err, computed)
+	}
+	if c.Len() != 0 {
+		t.Fatal("error result was cached")
+	}
+	// The key must be computable again after a failure.
+	v, err, computed := c.getOrCompute("k", func() (Value, error) { return NewFrame(1), nil })
+	if err != nil || !computed || v == nil {
+		t.Fatalf("retry after error: v=%v err=%v computed=%v", v, err, computed)
+	}
+}
+
+// TestCacheLRUEviction proves the entry bound evicts least-recently-used
+// values and accounts for them in Stats.
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache()
+	c.SetLimit(2)
+	mk := func(key string) Value {
+		v, err, _ := c.getOrCompute(key, func() (Value, error) {
+			f := NewFrame(4)
+			f.AddF("x", []float64{1, 2, 3, 4})
+			return f, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	mk("a")
+	mk("b")
+	mk("a") // touch a so b is now LRU
+	mk("c") // evicts b
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("entries=%d evictions=%d, want 2 and 1", st.Entries, st.Evictions)
+	}
+	if st.Bytes != 2*4*8 {
+		t.Errorf("bytes=%d, want %d (two 4-row single-column frames)", st.Bytes, 2*4*8)
+	}
+	missesBefore := st.Misses
+	mk("b") // must recompute: it was evicted
+	if got := c.Stats().Misses; got != missesBefore+1 {
+		t.Errorf("misses after re-request of evicted key = %d, want %d", got, missesBefore+1)
+	}
+	mk("a")
+	if got := c.Stats().Entries; got != 2 {
+		t.Errorf("entries=%d after reinsert, want 2", got)
+	}
+}
+
+// snapshotFrames deep-copies the numeric data of every cached Frame so a
+// later comparison can detect in-place mutation by downstream ops.
+func snapshotFrames(c *Cache) map[string][][]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := map[string][][]float64{}
+	for key, el := range c.entries {
+		fr, ok := el.Value.(*cacheEntry).val.(*Frame)
+		if !ok {
+			continue
+		}
+		var cols [][]float64
+		for i := range fr.Cols {
+			if fr.Cols[i].IsNumeric() {
+				cols = append(cols, append([]float64(nil), fr.Cols[i].F...))
+			}
+		}
+		snap[key] = cols
+	}
+	return snap
+}
+
+// TestCacheAliasingGuard runs many engines concurrently against one
+// shared cache and asserts the cached *Frame values are bit-identical
+// before and after: downstream ops (scaling, training...) must never
+// mutate a cached value they alias.
+func TestCacheAliasingGuard(t *testing.T) {
+	ds := smallDS(t, "F1")
+	p := &Pipeline{
+		Name:        "aliasing",
+		Granularity: "connection",
+		Ops: []OpSpec{
+			{Func: "flow_assemble", Input: []string{InputName}, Output: "fl", Params: map[string]any{"granularity": "connection"}},
+			{Func: "flow_features", Input: []string{"fl"}, Output: "X"},
+			{Func: "log_scale", Input: []string{"X"}, Output: "Xl"},
+			{Func: "normalize", Input: []string{"Xl"}, Output: "Xs", Params: map[string]any{"kind": "zscore"}},
+			{Func: "model", Output: "m", Params: map[string]any{"model_type": "decision_tree"}},
+			{Func: "train", Input: []string{"m", "Xs"}, Output: "t"},
+		},
+	}
+	cache := NewCache()
+	// Populate the cache once, then snapshot every cached frame.
+	e0 := NewEngine(p)
+	e0.SetCache(cache)
+	if err := e0.Train(ds); err != nil {
+		t.Fatal(err)
+	}
+	before := snapshotFrames(cache)
+	if len(before) == 0 {
+		t.Fatal("no frames cached; aliasing guard has nothing to check")
+	}
+
+	const engines = 8
+	var wg sync.WaitGroup
+	for i := 0; i < engines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e := NewEngine(p)
+			e.SetCache(cache)
+			e.Seed = int64(i)
+			if err := e.Train(ds); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := e.Test(ds); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	after := snapshotFrames(cache)
+	for key, cols := range before {
+		got, ok := after[key]
+		if !ok {
+			t.Errorf("cached frame %q disappeared", key)
+			continue
+		}
+		if !reflect.DeepEqual(cols, got) {
+			t.Errorf("cached frame %q was mutated by a downstream op", key)
+		}
+	}
+}
+
+// TestEngineSingleflightAcrossEngines runs N engines with identical
+// cacheable prefixes concurrently and asserts every distinct key was
+// computed exactly once (misses == entries, and no recompute races).
+func TestEngineSingleflightAcrossEngines(t *testing.T) {
+	ds := smallDS(t, "F1")
+	p := &Pipeline{
+		Name:        "sf",
+		Granularity: "connection",
+		Ops: []OpSpec{
+			{Func: "flow_assemble", Input: []string{InputName}, Output: "fl", Params: map[string]any{"granularity": "connection"}},
+			{Func: "flow_features", Input: []string{"fl"}, Output: "X"},
+			{Func: "model", Output: "m", Params: map[string]any{"model_type": "decision_tree"}},
+			{Func: "train", Input: []string{"m", "X"}, Output: "t"},
+		},
+	}
+	cache := NewCache()
+	const engines = 8
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < engines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			e := NewEngine(p)
+			e.SetCache(cache)
+			e.Seed = int64(i)
+			if err := e.Train(ds); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	st := cache.Stats()
+	if st.Misses != st.Entries {
+		t.Errorf("misses=%d entries=%d: some key was computed more than once", st.Misses, st.Entries)
+	}
+	// All first-wave engines race the same two keys: every lookup that
+	// was not the one computation must be a hit or a dedup-wait.
+	if st.Hits+st.DedupWaits != engines*2-st.Misses {
+		t.Errorf("hits=%d dedupWaits=%d misses=%d for %d lookups",
+			st.Hits, st.DedupWaits, st.Misses, engines*2)
 	}
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"time"
 
 	"lumen/internal/dataset"
@@ -65,13 +64,20 @@ type EvalResult struct {
 
 // OpStats records the profile of one executed operation (the paper's
 // engine "generates plots of memory and time spent in each operation").
+// Wall is always recorded; Allocs only when Engine.Profiling is on.
 type OpStats struct {
-	Func    string
-	Output  string
-	Wall    time.Duration
-	Allocs  uint64 // bytes allocated during the op
-	OutRows int    // rows when the output is a frame/grouped
-	// Cached marks results served from a shared Cache.
+	Func   string
+	Output string
+	Wall   time.Duration
+	// Allocs is the delta of the process-wide heap-allocation counter
+	// around the op (runtime/metrics, no stop-the-world). The counter is
+	// shared by every goroutine, so when several engines run in parallel
+	// an op's delta includes its neighbours' allocations — exact byte
+	// attribution requires a single-engine run.
+	Allocs  uint64
+	OutRows int // rows when the output is a frame/grouped
+	// Cached marks results not computed by this engine: served from a
+	// shared Cache, or waited out while another engine computed them.
 	Cached bool
 }
 
@@ -93,6 +99,10 @@ func (c *opCtx) getState() any  { return c.state[c.outName] }
 type Engine struct {
 	P    *Pipeline
 	Seed int64
+	// Profiling enables per-op allocation sampling (see OpStats.Allocs).
+	// Off by default: wall-clock timing is always on and free, while
+	// allocation counters cost one runtime/metrics read per op boundary.
+	Profiling bool
 
 	state map[string]any
 	cache *Cache
@@ -217,50 +227,37 @@ func (e *Engine) run(ds *dataset.Labeled, mode Mode) (*EvalResult, error) {
 			}
 			in[j] = v
 		}
-		// Serve stateless ops from the shared cache when attached.
+		// Serve stateless ops through the shared cache when attached:
+		// a hit returns immediately, a miss racing another engine's
+		// computation blocks on its result, and only one engine per key
+		// actually runs the op (singleflight).
+		ctx := &opCtx{mode: mode, outName: op.Output, state: e.state, seed: e.Seed}
+		st := OpStats{Func: op.Func, Output: op.Output}
 		var key string
 		useCache := false
 		if e.cache != nil && cacheableOps[op.Func] {
-			if k, ok := cacheKey(op, in); ok {
-				key = k
-				if v, hit := e.cache.get(key); hit {
-					env[op.Output] = v
-					st := OpStats{Func: op.Func, Output: op.Output, Cached: true}
-					if fr, ok := v.(*Frame); ok {
-						st.OutRows = fr.N
-					}
-					e.Profile = append(e.Profile, st)
-					for name, lu := range last {
-						if lu == i {
-							delete(env, name)
-						}
-					}
-					continue
-				}
-				useCache = true
-			}
+			key, useCache = cacheKey(op, in)
 		}
-		ctx := &opCtx{mode: mode, outName: op.Output, state: e.state, seed: e.Seed}
-		var ms0, ms1 runtime.MemStats
-		runtime.ReadMemStats(&ms0)
+		var out Value
+		var err error
 		start := time.Now()
-		out, err := def.run(ctx, in, params(op.Params))
-		wall := time.Since(start)
-		runtime.ReadMemStats(&ms1)
+		if useCache {
+			var computed bool
+			out, err, computed = e.cache.getOrCompute(key, func() (Value, error) {
+				return e.runOp(def, ctx, op, in, &st)
+			})
+			st.Cached = !computed
+		} else {
+			out, err = e.runOp(def, ctx, op, in, &st)
+		}
+		// For cache hits and dedup-waits Wall is lookup/wait time, not
+		// compute time — what this engine actually spent.
+		st.Wall = time.Since(start)
 		if err != nil {
 			return nil, fmt.Errorf("core: op %d (%s -> %s): %w", i, op.Func, op.Output, err)
 		}
 		env[op.Output] = out
-		if useCache {
-			e.cache.put(key, out)
-		}
-		st := OpStats{Func: op.Func, Output: op.Output, Wall: wall, Allocs: ms1.TotalAlloc - ms0.TotalAlloc}
-		switch v := out.(type) {
-		case *Frame:
-			st.OutRows = v.N
-		case *Grouped:
-			st.OutRows = len(v.Groups)
-		}
+		st.OutRows = outRows(out)
 		e.Profile = append(e.Profile, st)
 		if ctx.result != nil {
 			result = ctx.result
@@ -273,6 +270,33 @@ func (e *Engine) run(ds *dataset.Labeled, mode Mode) (*EvalResult, error) {
 		}
 	}
 	return result, nil
+}
+
+// runOp executes one op, sampling the allocation counter around it when
+// profiling is enabled. With profiling off this performs no memory-stat
+// reads at all.
+func (e *Engine) runOp(def *opDef, ctx *opCtx, op OpSpec, in []Value, st *OpStats) (Value, error) {
+	var before uint64
+	if e.Profiling {
+		before = heapAllocBytes()
+	}
+	out, err := def.run(ctx, in, params(op.Params))
+	if e.Profiling {
+		st.Allocs = heapAllocBytes() - before
+	}
+	return out, err
+}
+
+// outRows reports the row count of a frame or grouped output (0 for
+// other value kinds), on both the computed and the cache-served paths.
+func outRows(v Value) int {
+	switch x := v.(type) {
+	case *Frame:
+		return x.N
+	case *Grouped:
+		return len(x.Groups)
+	}
+	return 0
 }
 
 // Train fits the pipeline's stateful ops and model on a labelled dataset.

@@ -1,0 +1,24 @@
+package core
+
+import "runtime/metrics"
+
+// heapAllocName is the cumulative heap-allocation counter sampled around
+// each op when profiling is enabled. Unlike runtime.ReadMemStats it does
+// not stop the world, so profiled engines no longer serialize every
+// other goroutine in the process — the property that made the old
+// always-on ReadMemStats pair a scalability bug under the benchmark
+// suite's worker pool.
+const heapAllocName = "/gc/heap/allocs:bytes"
+
+// heapAllocBytes samples the process-wide cumulative heap allocation
+// counter. The counter is process-global: an op's Allocs delta includes
+// allocations made concurrently by other goroutines, so byte attribution
+// is only exact when one engine runs at a time (see OpStats.Allocs).
+func heapAllocBytes() uint64 {
+	s := [1]metrics.Sample{{Name: heapAllocName}}
+	metrics.Read(s[:])
+	if s[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return s[0].Value.Uint64()
+}

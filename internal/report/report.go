@@ -242,3 +242,18 @@ func DistTable(title string, dists []Dist) string {
 }
 
 func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// HumanBytes renders a byte count with a binary-prefix unit, for profile
+// and cache-size output ("1.5MiB" rather than 1572864).
+func HumanBytes(n int64) string {
+	const unit = 1024
+	if n < unit {
+		return fmt.Sprintf("%dB", n)
+	}
+	div, exp := int64(unit), 0
+	for m := n / unit; m >= unit; m /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%ciB", float64(n)/float64(div), "KMGTPE"[exp])
+}
