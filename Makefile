@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench race vet check
+.PHONY: build test bench race vet docs-lint check
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,17 @@ vet:
 	$(GO) vet ./...
 
 # race runs the concurrency-sensitive packages (engine/cache singleflight,
-# benchsuite worker pool) under the race detector.
+# span tracer, benchsuite worker pool) under the race detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/benchsuite/...
+	$(GO) test -race ./internal/core/... ./internal/benchsuite/... ./internal/obs/...
 
-# check is the CI gate: static analysis plus race-clean concurrency paths.
-check: vet race
+# docs-lint enforces the documentation floor (see doclint_test.go):
+# package comments everywhere under internal/ and cmd/, doc comments on
+# every exported symbol of internal/obs and internal/core.
+docs-lint:
+	$(GO) test -run TestDocLint .
+
+# check is the CI gate: static analysis, race-clean concurrency paths,
+# and the documentation lint.
+check: vet race docs-lint
 	$(GO) build ./...

@@ -16,12 +16,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"lumen/internal/algorithms"
 	"lumen/internal/benchsuite"
 	"lumen/internal/core"
 	"lumen/internal/dataset"
 	"lumen/internal/mlkit"
+	"lumen/internal/obs"
 	"lumen/internal/report"
 )
 
@@ -41,6 +43,8 @@ func main() {
 		seed        = flag.Int64("seed", 7, "random seed")
 		profile     = flag.Bool("profile", false, "print per-operation time/alloc profile")
 		saveModel   = flag.String("save-model", "", "write the fitted model as JSON (tree-family and naive Bayes)")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON of the run to this file (open at ui.perfetto.dev); also prints per-model loss sparklines")
+		metricsOut  = flag.String("metrics-out", "", "write Prometheus text-format metrics to this file after the run")
 	)
 	flag.Parse()
 
@@ -59,13 +63,13 @@ func main() {
 		return
 	}
 
-	if err := run(*algID, *pipelineF, *trainID, *testID, *trainPcap, *trainLabels, *testPcap, *testLabels, *scale, *seed, *profile, *saveModel); err != nil {
+	if err := run(*algID, *pipelineF, *trainID, *testID, *trainPcap, *trainLabels, *testPcap, *testLabels, *scale, *seed, *profile, *saveModel, *traceOut, *metricsOut); err != nil {
 		fmt.Fprintln(os.Stderr, "lumen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(algID, pipelineF, trainID, testID, trainPcap, trainLabels, testPcap, testLabels string, scale float64, seed int64, profile bool, saveModel string) error {
+func run(algID, pipelineF, trainID, testID, trainPcap, trainLabels, testPcap, testLabels string, scale float64, seed int64, profile bool, saveModel, traceOut, metricsOut string) error {
 	var p *core.Pipeline
 	switch {
 	case algID != "":
@@ -93,6 +97,16 @@ func run(algID, pipelineF, trainID, testID, trainPcap, trainLabels, testPcap, te
 	eng.Seed = seed
 	// Allocation sampling is opt-in; wall timing is always recorded.
 	eng.Profiling = profile
+	var tracer *obs.Tracer
+	var root *obs.Span
+	if traceOut != "" {
+		tracer = obs.NewTracer()
+		root = tracer.Start("run:"+p.Name, 0)
+		eng.Span = root
+	}
+	if metricsOut != "" {
+		eng.Metrics = obs.NewMetrics()
+	}
 	fmt.Printf("pipeline %q (%s granularity)\n", p.Name, p.Granularity)
 	if g, err := p.Granular(); err == nil {
 		if !dataset.CanFaithfullyRun(g, trainDS.Granularity) || !dataset.CanFaithfullyRun(g, testDS.Granularity) {
@@ -135,7 +149,51 @@ func run(algID, pipelineF, trainID, testID, trainPcap, trainLabels, testPcap, te
 		}
 		fmt.Print(t)
 	}
+	if tracer != nil {
+		root.End()
+		printLossCurves(tracer)
+		if err := tracer.WriteChromeTraceFile(traceOut); err != nil {
+			return err
+		}
+		fmt.Println("wrote Chrome trace to", traceOut, "(open at ui.perfetto.dev)")
+	}
+	if metricsOut != "" {
+		if err := eng.Metrics.WritePrometheusFile(metricsOut); err != nil {
+			return err
+		}
+		fmt.Println("wrote Prometheus metrics to", metricsOut)
+	}
 	return nil
+}
+
+// printLossCurves renders each trained model's per-epoch loss curve as a
+// sparkline, reconstructed from the trace's "epoch:<model>" spans.
+func printLossCurves(tracer *obs.Tracer) {
+	losses := map[string][]float64{}
+	var order []string
+	for _, sp := range tracer.Spans() {
+		model, ok := strings.CutPrefix(sp.Name, "epoch:")
+		if !ok {
+			continue
+		}
+		loss, ok := sp.Attrs["loss"].(float64)
+		if !ok {
+			continue
+		}
+		if _, seen := losses[model]; !seen {
+			order = append(order, model)
+		}
+		losses[model] = append(losses[model], loss)
+	}
+	if len(order) == 0 {
+		return
+	}
+	fmt.Println("\ntraining loss curves:")
+	for _, model := range order {
+		l := losses[model]
+		fmt.Printf("  %-12s %s  (%d epochs, %.4g -> %.4g)\n",
+			model, report.Sparkline(l), len(l), l[0], l[len(l)-1])
+	}
 }
 
 // resolveData loads train/test datasets from the registry or from pcap

@@ -8,12 +8,18 @@
 //	lumenbench -fig 5                  # only Fig. 5
 //	lumenbench -algs A13,A14 -datasets F1,F4
 //	lumenbench -out results/           # also write results.json + CSVs
+//	lumenbench -trace-out trace.json   # Chrome trace of the run (Perfetto)
+//	lumenbench -metrics-out m.prom     # Prometheus metrics snapshot
+//
+// See OBSERVABILITY.md for the span hierarchy and metric names.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
@@ -21,22 +27,40 @@ import (
 	"time"
 
 	"lumen/internal/benchsuite"
+	"lumen/internal/obs"
 	"lumen/internal/report"
 )
 
+// options bundles the output-shaping flags that run consumes alongside
+// the suite Config.
+type options struct {
+	fig         string // which figure/table to produce
+	out         string // directory for results.json + CSVs
+	profile     bool   // print the aggregated per-op profile
+	profileOut  string // write the per-op profile JSON here
+	traceOut    string // write a Chrome trace_event JSON here
+	traceJSONL  string // write flat per-span JSONL records here
+	metricsOut  string // write Prometheus text metrics here at exit
+	metricsAddr string // serve Prometheus metrics on this address
+}
+
 func main() {
 	var (
-		scale      = flag.Float64("scale", 0.6, "dataset scale factor (1.0 = full synthetic size)")
-		seed       = flag.Int64("seed", 7, "random seed")
-		fig        = flag.String("fig", "all", "which output: "+strings.Join(validFigs, ", "))
-		algs       = flag.String("algs", "", "comma-separated algorithm IDs (default: all 16)")
-		datasets   = flag.String("datasets", "", "comma-separated dataset IDs (default: all 15)")
-		out        = flag.String("out", "", "directory to write results.json and CSV figures")
-		workers    = flag.Int("workers", 0, "worker-pool size for suite runs (0 = GOMAXPROCS)")
-		noCache    = flag.Bool("nocache", false, "disable the shared intermediate-result cache")
-		cacheEnt   = flag.Int("cache-entries", 0, "bound the shared cache to N entries with LRU eviction (0 = unbounded)")
-		profile    = flag.Bool("profile", false, "sample per-op allocations and print the aggregated per-op profile")
-		profileOut = flag.String("profile-out", "", "write the aggregated per-op profile as JSON to this file")
+		scale       = flag.Float64("scale", 0.6, "dataset scale factor (1.0 = full synthetic size)")
+		seed        = flag.Int64("seed", 7, "random seed")
+		fig         = flag.String("fig", "all", "which output: "+strings.Join(validFigs, ", "))
+		algs        = flag.String("algs", "", "comma-separated algorithm IDs (default: all 16)")
+		datasets    = flag.String("datasets", "", "comma-separated dataset IDs (default: all 15)")
+		out         = flag.String("out", "", "directory to write results.json and CSV figures")
+		workers     = flag.Int("workers", 0, "worker-pool size for suite runs (0 = GOMAXPROCS)")
+		noCache     = flag.Bool("nocache", false, "disable the shared intermediate-result cache")
+		cacheEnt    = flag.Int("cache-entries", 0, "bound the shared cache to N entries with LRU eviction (0 = unbounded)")
+		profile     = flag.Bool("profile", false, "sample per-op allocations and print the aggregated per-op profile")
+		profileOut  = flag.String("profile-out", "", "write the aggregated per-op profile as JSON to this file")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON of the run to this file (open at ui.perfetto.dev)")
+		traceJSONL  = flag.String("trace-jsonl", "", "write the trace as flat per-span JSONL records to this file")
+		metricsOut  = flag.String("metrics-out", "", "write Prometheus text-format metrics to this file when the run finishes")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus metrics at http://ADDR/metrics while the suite runs (e.g. localhost:9090)")
 	)
 	flag.Parse()
 
@@ -50,7 +74,17 @@ func main() {
 		AlgIDs:       splitIDs(*algs),
 		DatasetIDs:   splitIDs(*datasets),
 	}
-	if err := run(cfg, *fig, *out, *profile, *profileOut); err != nil {
+	opts := options{
+		fig:         *fig,
+		out:         *out,
+		profile:     *profile,
+		profileOut:  *profileOut,
+		traceOut:    *traceOut,
+		traceJSONL:  *traceJSONL,
+		metricsOut:  *metricsOut,
+		metricsAddr: *metricsAddr,
+	}
+	if err := run(cfg, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "lumenbench:", err)
 		os.Exit(1)
 	}
@@ -72,7 +106,8 @@ func splitIDs(s string) []string {
 	return out
 }
 
-func run(cfg benchsuite.Config, fig, out string, profile bool, profileOut string) error {
+func run(cfg benchsuite.Config, opts options) error {
+	fig, out := opts.fig, opts.out
 	known := false
 	for _, id := range validFigs {
 		if fig == id {
@@ -93,6 +128,26 @@ func run(cfg benchsuite.Config, fig, out string, profile bool, profileOut string
 			}
 		}
 		return false
+	}
+
+	if opts.traceOut != "" || opts.traceJSONL != "" {
+		cfg.Tracer = obs.NewTracer()
+	}
+	if opts.metricsOut != "" || opts.metricsAddr != "" {
+		cfg.Metrics = obs.NewMetrics()
+	}
+	if opts.metricsAddr != "" {
+		// Listen eagerly so a bad address fails the run instead of dying
+		// silently in the serving goroutine.
+		ln, err := net.Listen("tcp", opts.metricsAddr)
+		if err != nil {
+			return fmt.Errorf("-metrics-addr: %w", err)
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", cfg.Metrics.Handler())
+		go func() { _ = http.Serve(ln, mux) }()
+		fmt.Printf("serving metrics at http://%s/metrics\n", ln.Addr())
 	}
 
 	if want("table1") {
@@ -221,7 +276,7 @@ func run(cfg benchsuite.Config, fig, out string, profile bool, profileOut string
 	}
 
 	if profs := s.OpProfiles(); len(profs) > 0 {
-		if profile {
+		if opts.profile {
 			fmt.Println("== per-operation profile (aggregated across runs) ==")
 			t := &report.Table{Header: []string{"op", "runs", "cached", "total wall", "allocs"}}
 			for _, p := range profs {
@@ -231,16 +286,38 @@ func run(cfg benchsuite.Config, fig, out string, profile bool, profileOut string
 			fmt.Print(t)
 			fmt.Println()
 		}
-		if profileOut != "" {
+		if opts.profileOut != "" {
 			data, err := json.MarshalIndent(profs, "", " ")
 			if err != nil {
 				return err
 			}
-			if err := os.WriteFile(profileOut, data, 0o644); err != nil {
+			if err := os.WriteFile(opts.profileOut, data, 0o644); err != nil {
 				return err
 			}
-			fmt.Println("wrote per-op profile to", profileOut)
+			fmt.Println("wrote per-op profile to", opts.profileOut)
 		}
+	}
+
+	// Close the suite's root span, then export whatever observability
+	// sinks were requested.
+	s.Finish()
+	if opts.traceOut != "" {
+		if err := cfg.Tracer.WriteChromeTraceFile(opts.traceOut); err != nil {
+			return err
+		}
+		fmt.Println("wrote Chrome trace to", opts.traceOut, "(open at ui.perfetto.dev)")
+	}
+	if opts.traceJSONL != "" {
+		if err := cfg.Tracer.WriteJSONLFile(opts.traceJSONL); err != nil {
+			return err
+		}
+		fmt.Println("wrote span JSONL to", opts.traceJSONL)
+	}
+	if opts.metricsOut != "" {
+		if err := cfg.Metrics.WritePrometheusFile(opts.metricsOut); err != nil {
+			return err
+		}
+		fmt.Println("wrote Prometheus metrics to", opts.metricsOut)
 	}
 
 	if out != "" {

@@ -11,10 +11,10 @@ import (
 )
 
 func TestRunStaticFigures(t *testing.T) {
-	if err := run(benchsuite.Config{Scale: 0.2, Seed: 1}, "table1", "", false, ""); err != nil {
+	if err := run(benchsuite.Config{Scale: 0.2, Seed: 1}, options{fig: "table1"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(benchsuite.Config{Scale: 0.2, Seed: 1}, "1a", "", false, ""); err != nil {
+	if err := run(benchsuite.Config{Scale: 0.2, Seed: 1}, options{fig: "1a"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -29,7 +29,7 @@ func TestRunScopedFigure(t *testing.T) {
 		AlgIDs:     []string{"A14", "A15"},
 		DatasetIDs: []string{"F1", "F4"},
 	}
-	if err := run(cfg, "8", t.TempDir(), false, ""); err != nil {
+	if err := run(cfg, options{fig: "8", out: t.TempDir()}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -44,13 +44,13 @@ func TestRunValidateScoped(t *testing.T) {
 		AlgIDs:     []string{"A07", "A10", "A14"},
 		DatasetIDs: []string{"F0", "F1", "F2", "F4"},
 	}
-	if err := run(cfg, "validate", "", false, ""); err != nil {
+	if err := run(cfg, options{fig: "validate"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadScope(t *testing.T) {
-	if err := run(benchsuite.Config{AlgIDs: []string{"A99"}}, "8", "", false, ""); err == nil {
+	if err := run(benchsuite.Config{AlgIDs: []string{"A99"}}, options{fig: "8"}); err == nil {
 		t.Fatal("unknown algorithm scope should fail")
 	}
 }
@@ -72,7 +72,7 @@ func TestSplitIDsTrimsTokens(t *testing.T) {
 }
 
 func TestRunRejectsUnknownFig(t *testing.T) {
-	err := run(benchsuite.Config{Scale: 0.2, Seed: 1}, "42", "", false, "")
+	err := run(benchsuite.Config{Scale: 0.2, Seed: 1}, options{fig: "42"})
 	if err == nil {
 		t.Fatal("unknown -fig value should fail, not silently print nothing")
 	}
@@ -92,7 +92,7 @@ func TestRunAcceptsFig1bAnd1c(t *testing.T) {
 		DatasetIDs: []string{"F1", "F4"},
 	}
 	for _, fig := range []string{"1b", "1c"} {
-		if err := run(cfg, fig, "", false, ""); err != nil {
+		if err := run(cfg, options{fig: fig}); err != nil {
 			t.Fatalf("-fig %s: %v", fig, err)
 		}
 	}
@@ -110,7 +110,7 @@ func TestRunWritesProfile(t *testing.T) {
 		DatasetIDs: []string{"F1"},
 	}
 	path := filepath.Join(t.TempDir(), "profile.json")
-	if err := run(cfg, "8", "", true, path); err != nil {
+	if err := run(cfg, options{fig: "8", profile: true, profileOut: path}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -135,5 +135,83 @@ func TestRunWritesProfile(t *testing.T) {
 	}
 	if !sawAllocs {
 		t.Error("profiling on but no op recorded allocations")
+	}
+}
+
+func TestRunWritesTraceAndMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains models")
+	}
+	cfg := benchsuite.Config{
+		Scale:      0.2,
+		Seed:       1,
+		AlgIDs:     []string{"A07"},
+		DatasetIDs: []string{"F1"},
+	}
+	dir := t.TempDir()
+	opts := options{
+		fig:        "8",
+		traceOut:   filepath.Join(dir, "trace.json"),
+		traceJSONL: filepath.Join(dir, "trace.jsonl"),
+		metricsOut: filepath.Join(dir, "metrics.prom"),
+	}
+	if err := run(cfg, opts); err != nil {
+		t.Fatal(err)
+	}
+
+	// The Chrome trace must be valid JSON with the expected span names.
+	data, err := os.ReadFile(opts.traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph == "X" {
+			names[ev.Name] = true
+		}
+	}
+	for _, want := range []string{"suite", "batch:same-dataset", "run:A07 F1→F1", "op:train"} {
+		if !names[want] {
+			t.Errorf("trace missing %q span (have %d events)", want, len(trace.TraceEvents))
+		}
+	}
+
+	// The JSONL export must be one JSON object per line.
+	jl, err := os.ReadFile(opts.traceJSONL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(strings.TrimSpace(string(jl)), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("jsonl line %d invalid: %v", i+1, err)
+		}
+	}
+
+	// The Prometheus snapshot must include suite, op and cache metrics.
+	prom, err := os.ReadFile(opts.metricsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"lumen_runs_total 1",
+		"lumen_suite_workers",
+		"lumen_worker_utilization",
+		"lumen_cache_misses_total",
+		`lumen_ops_total{op="train"}`,
+		"lumen_op_wall_seconds_bucket",
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("metrics output missing %q", want)
+		}
 	}
 }

@@ -1,0 +1,170 @@
+package lumen
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDocLint enforces the repo's documentation floor with go/ast:
+//
+//  1. every package under internal/ and cmd/ must carry a package
+//     comment (on any non-test file) explaining what it is; and
+//  2. in the packages whose API other layers program against —
+//     internal/obs and internal/core — every exported type, function,
+//     and method on an exported type must have a doc comment.
+//
+// `make docs-lint` runs exactly this test; `make check` includes it.
+func TestDocLint(t *testing.T) {
+	pkgs := findPackageDirs(t, "internal", "cmd")
+	for _, dir := range pkgs {
+		checkPackageComment(t, dir)
+	}
+	for _, dir := range []string{"internal/obs", "internal/core"} {
+		checkExportedDocs(t, dir)
+	}
+}
+
+// findPackageDirs walks roots and returns every directory containing at
+// least one non-test .go file.
+func findPackageDirs(t *testing.T, roots ...string) []string {
+	t.Helper()
+	var dirs []string
+	seen := map[string]bool{}
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			dir := filepath.Dir(path)
+			if !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walking %s: %v", root, err)
+		}
+	}
+	return dirs
+}
+
+// parseDir parses every non-test .go file in dir.
+func parseDir(t *testing.T, dir string) (*token.FileSet, map[string]*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files := map[string]*ast.File{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+		files[path] = f
+	}
+	return fset, files
+}
+
+// checkPackageComment fails unless some non-test file in dir carries a
+// package doc comment.
+func checkPackageComment(t *testing.T, dir string) {
+	t.Helper()
+	_, files := parseDir(t, dir)
+	for _, f := range files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return
+		}
+	}
+	t.Errorf("package %s has no package comment on any file", dir)
+}
+
+// checkExportedDocs fails for every exported declaration in dir that
+// lacks a doc comment: types, functions, and methods whose receiver type
+// is exported. Grouped const/var blocks count as documented when the
+// block has a comment.
+func checkExportedDocs(t *testing.T, dir string) {
+	t.Helper()
+	fset, files := parseDir(t, dir)
+	for path, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() || !receiverExported(d) {
+					continue
+				}
+				if d.Doc == nil || strings.TrimSpace(d.Doc.Text()) == "" {
+					t.Errorf("%s: exported %s %s has no doc comment",
+						fset.Position(d.Pos()), funcKind(d), funcName(d))
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts := spec.(*ast.TypeSpec)
+					if !ts.Name.IsExported() {
+						continue
+					}
+					if (d.Doc == nil || strings.TrimSpace(d.Doc.Text()) == "") &&
+						(ts.Doc == nil || strings.TrimSpace(ts.Doc.Text()) == "") {
+						t.Errorf("%s: exported type %s has no doc comment",
+							fset.Position(ts.Pos()), ts.Name.Name)
+					}
+				}
+			}
+		}
+		_ = path
+	}
+}
+
+// receiverExported reports whether d is a plain function or a method on
+// an exported receiver type — methods on unexported types are internal
+// API and exempt.
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	return ast.IsExported(receiverTypeName(d))
+}
+
+// receiverTypeName extracts the receiver's base type name ("Engine" from
+// *Engine, "Span" from Span).
+func receiverTypeName(d *ast.FuncDecl) string {
+	expr := d.Recv.List[0].Type
+	if star, ok := expr.(*ast.StarExpr); ok {
+		expr = star.X
+	}
+	if id, ok := expr.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func funcKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+func funcName(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return receiverTypeName(d) + "." + d.Name.Name
+	}
+	return d.Name.Name
+}

@@ -42,13 +42,31 @@ func (r RunResult) OK() bool { return r.Err == "" }
 // Meta summarizes how the worker pool performed across every runAll
 // batch: total batch wall time, summed per-run busy time, and the
 // resulting worker utilization (Busy / (Wall × Workers), 1.0 = every
-// worker busy the whole time).
+// worker busy the whole time). Manifest records the configuration that
+// produced the results, so a saved store is self-describing.
 type Meta struct {
 	Runs        int           `json:"runs,omitempty"`
 	Workers     int           `json:"workers,omitempty"`
 	Wall        time.Duration `json:"wall_ns,omitempty"`
 	Busy        time.Duration `json:"busy_ns,omitempty"`
 	Utilization float64       `json:"utilization,omitempty"`
+	Manifest    *Manifest     `json:"manifest,omitempty"`
+}
+
+// Manifest is the run manifest embedded in every saved Store: the scoped
+// algorithm and dataset IDs, the effective suite configuration, and the
+// Go runtime it executed under.
+type Manifest struct {
+	Scale        float64  `json:"scale"`
+	Seed         int64    `json:"seed"`
+	Algorithms   []string `json:"algorithms"`
+	Datasets     []string `json:"datasets"`
+	Workers      int      `json:"workers"`
+	Cache        bool     `json:"cache"`
+	CacheEntries int      `json:"cache_entries,omitempty"`
+	Profile      bool     `json:"profile,omitempty"`
+	GoVersion    string   `json:"go_version"`
+	MaxProcs     int      `json:"max_procs"`
 }
 
 // Store accumulates results and answers the queries the figures need.

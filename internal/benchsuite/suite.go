@@ -17,6 +17,7 @@ import (
 	"lumen/internal/dataset"
 	"lumen/internal/mlkit"
 	"lumen/internal/netpkt"
+	"lumen/internal/obs"
 )
 
 // Config scopes a suite run ("the user can scope the comparison on a
@@ -43,6 +44,17 @@ type Config struct {
 	// (core.Engine.Profiling) and per-op profile aggregation across runs.
 	// Wall-clock per-op timing is collected regardless.
 	Profile bool
+	// Tracer, when non-nil, records a span tree for the whole suite: a
+	// root "suite" span, one batch span per RunSameDataset/RunCrossDataset
+	// call, one run span per (alg, train, test) on the executing worker's
+	// track, per-op spans beneath those, and model-fit epoch spans. Call
+	// Suite.Finish before exporting so the root span is closed.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives suite counters and gauges
+	// (lumen_runs_total, lumen_run_errors_total, lumen_run_wall_seconds,
+	// lumen_suite_workers, lumen_worker_utilization) plus the cache, op
+	// and fit metrics of the layers below.
+	Metrics *obs.Metrics
 }
 
 func (c Config) scale() float64 {
@@ -60,6 +72,7 @@ type Suite struct {
 	splits map[string]*split
 	order  []string // dataset IDs in registry order
 	cache  *core.Cache
+	root   *obs.Span // "suite" span; nil when tracing is off
 	Store  *Store
 
 	profMu sync.Mutex
@@ -97,6 +110,7 @@ func New(cfg Config) (*Suite, error) {
 	if !cfg.NoCache {
 		s.cache = core.NewCache()
 		s.cache.SetLimit(cfg.CacheEntries)
+		s.cache.SetMetrics(cfg.Metrics)
 	}
 	dsIDs := make([]string, 0, len(dataset.Registry()))
 	for _, spec := range dataset.Registry() {
@@ -135,7 +149,44 @@ func New(cfg Config) (*Suite, error) {
 	if len(s.algs) == 0 {
 		return nil, fmt.Errorf("benchsuite: no algorithms selected")
 	}
+	s.Store.Meta.Manifest = s.manifest()
+	if cfg.Tracer != nil {
+		s.root = cfg.Tracer.Start("suite", 0)
+		s.root.Set("algorithms", len(s.algs))
+		s.root.Set("datasets", len(s.order))
+		s.root.Set("scale", cfg.scale())
+		s.root.Set("seed", cfg.Seed)
+	}
 	return s, nil
+}
+
+// manifest captures the suite's full configuration for the result store,
+// so saved results are self-describing ("which flags produced this?").
+func (s *Suite) manifest() *Manifest {
+	m := &Manifest{
+		Scale:        s.cfg.scale(),
+		Seed:         s.cfg.Seed,
+		Workers:      s.cfg.Workers,
+		Cache:        !s.cfg.NoCache,
+		CacheEntries: s.cfg.CacheEntries,
+		Profile:      s.cfg.Profile,
+		GoVersion:    runtime.Version(),
+		MaxProcs:     runtime.GOMAXPROCS(0),
+	}
+	if m.Workers == 0 {
+		m.Workers = runtime.GOMAXPROCS(0)
+	}
+	for _, a := range s.algs {
+		m.Algorithms = append(m.Algorithms, a.ID)
+	}
+	m.Datasets = append(m.Datasets, s.order...)
+	return m
+}
+
+// Finish closes the suite's root span. Call it once, after the last Run*
+// call and before exporting the tracer; it is a no-op without a tracer.
+func (s *Suite) Finish() {
+	s.root.End()
 }
 
 // idSet builds a membership set from a scope list, rejecting (and
@@ -208,23 +259,47 @@ func CanRun(alg algorithms.Algorithm, train, test *split) bool {
 }
 
 // runOne trains alg on train packets and evaluates on test packets.
-func (s *Suite) runOne(alg algorithms.Algorithm, trainID, testID string, trainDS, testDS *dataset.Labeled) (rr RunResult) {
+// span, when non-nil, is this run's span: train and test get child spans
+// beneath it, and engine op spans nest below those.
+func (s *Suite) runOne(alg algorithms.Algorithm, trainID, testID string, trainDS, testDS *dataset.Labeled, span *obs.Span) (rr RunResult) {
 	rr = RunResult{Alg: alg.ID, TrainDS: trainID, TestDS: testID, Faithful: true}
 	start := time.Now()
-	defer func() { rr.Wall = time.Since(start) }()
+	defer func() {
+		rr.Wall = time.Since(start)
+		if s.cfg.Metrics != nil {
+			s.cfg.Metrics.Counter("lumen_runs_total",
+				"Completed (alg, train, test) evaluations, including failed ones.").Inc()
+			if rr.Err != "" {
+				s.cfg.Metrics.Counter("lumen_run_errors_total",
+					"Evaluations that ended in a pipeline error.").Inc()
+			}
+			s.cfg.Metrics.Histogram("lumen_run_wall_seconds",
+				"End-to-end train+test wall time per evaluation.", nil).
+				Observe(rr.Wall.Seconds())
+		}
+	}()
 	eng := core.NewEngine(alg.Pipeline)
 	eng.Profiling = s.cfg.Profile
+	eng.Metrics = s.cfg.Metrics
 	if s.cache != nil {
 		eng.SetCache(s.cache)
 	}
 	eng.Seed = s.cfg.Seed + int64(hash(alg.ID+trainID+testID))
+	if span != nil {
+		eng.Span = span.Child("train")
+	}
 	err := eng.Train(trainDS)
+	eng.Span.End()
 	s.recordProfile(eng.Profile)
 	if err != nil {
 		rr.Err = err.Error()
 		return rr
 	}
+	if span != nil {
+		eng.Span = span.Child("test")
+	}
 	res, err := eng.Test(testDS)
+	eng.Span.End()
 	s.recordProfile(eng.Profile)
 	if err != nil {
 		rr.Err = err.Error()
@@ -280,8 +355,9 @@ type task struct {
 
 // runAll executes tasks on a worker pool (the Ray-style parallel
 // evaluation of the paper) and appends results to the store, updating
-// the store's batch metadata (wall time, busy time, utilization).
-func (s *Suite) runAll(tasks []task) {
+// the store's batch metadata (wall time, busy time, utilization). name
+// labels the batch span ("same-dataset" / "cross-dataset") when tracing.
+func (s *Suite) runAll(name string, tasks []task) {
 	if len(tasks) == 0 {
 		return
 	}
@@ -295,19 +371,40 @@ func (s *Suite) runAll(tasks []task) {
 	if workers < 1 {
 		workers = 1
 	}
+	var batch *obs.Span
+	if s.root != nil {
+		batch = s.root.Child("batch:" + name)
+		batch.Set("tasks", len(tasks))
+		batch.Set("workers", workers)
+	}
 	batchStart := time.Now()
 	results := make([]RunResult, len(tasks))
 	var wg sync.WaitGroup
 	ch := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		// Worker w's run spans render on track w+1 (track 0 is the suite).
+		go func(w int) {
 			defer wg.Done()
 			for i := range ch {
 				t := tasks[i]
-				results[i] = s.runOne(t.alg, t.trainID, t.testID, t.train, t.test)
+				var sp *obs.Span
+				if batch != nil {
+					sp = batch.ChildOn("run:"+t.alg.ID+" "+t.trainID+"→"+t.testID, w+1)
+					sp.Set("alg", t.alg.ID)
+					sp.Set("train", t.trainID)
+					sp.Set("test", t.testID)
+					sp.Set("worker", w)
+				}
+				results[i] = s.runOne(t.alg, t.trainID, t.testID, t.train, t.test, sp)
+				if sp != nil {
+					if results[i].Err != "" {
+						sp.Set("error", results[i].Err)
+					}
+					sp.End()
+				}
 			}
-		}()
+		}(w)
 	}
 	for i := range tasks {
 		ch <- i
@@ -328,6 +425,17 @@ func (s *Suite) runAll(tasks []task) {
 	if meta.Workers > 0 && meta.Wall > 0 {
 		meta.Utilization = float64(meta.Busy) / (float64(meta.Wall) * float64(meta.Workers))
 	}
+	if batch != nil {
+		batch.Set("utilization", meta.Utilization)
+		batch.End()
+	}
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Gauge("lumen_suite_workers",
+			"Worker-pool size of the most recent batch.").Set(float64(workers))
+		s.cfg.Metrics.Gauge("lumen_worker_utilization",
+			"Cumulative worker utilization: busy time / (wall time × workers).").
+			Set(meta.Utilization)
+	}
 }
 
 // RunSameDataset evaluates every algorithm on every faithful dataset
@@ -343,7 +451,7 @@ func (s *Suite) RunSameDataset() {
 			tasks = append(tasks, task{alg, id, id, sp.train, sp.test})
 		}
 	}
-	s.runAll(tasks)
+	s.runAll("same-dataset", tasks)
 }
 
 // RunCrossDataset evaluates every algorithm on every ordered pair of
@@ -365,7 +473,7 @@ func (s *Suite) RunCrossDataset() {
 			}
 		}
 	}
-	s.runAll(tasks)
+	s.runAll("cross-dataset", tasks)
 }
 
 // RunAll runs both evaluation modes.

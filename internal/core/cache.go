@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+
+	"lumen/internal/obs"
 )
 
 // Cache shares the results of stateless operations across engines — the
@@ -39,6 +41,45 @@ type Cache struct {
 	bytes    int64
 
 	hits, misses, dedupWaits, evictions int
+
+	// om mirrors the counters above into an obs.Metrics registry when one
+	// is attached (see SetMetrics). All instruments are nil-safe, so the
+	// zero value means "no registry" without extra branches.
+	om cacheMetrics
+}
+
+// cacheMetrics holds the pre-resolved instruments for cache activity.
+type cacheMetrics struct {
+	hits, misses, dedupWaits, evictions *obs.Counter
+	entries, bytes                      *obs.Gauge
+}
+
+// SetMetrics mirrors cache activity into m: lumen_cache_{hits,misses,
+// dedup_waits,evictions}_total counters plus lumen_cache_entries and
+// lumen_cache_bytes gauges. A nil m detaches nothing and is a no-op;
+// counters registered by an earlier call keep their accumulated values.
+func (c *Cache) SetMetrics(m *obs.Metrics) {
+	if m == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.om = cacheMetrics{
+		hits:       m.Counter("lumen_cache_hits_total", "Cache lookups served from a stored entry."),
+		misses:     m.Counter("lumen_cache_misses_total", "Cache lookups that started a computation."),
+		dedupWaits: m.Counter("lumen_cache_dedup_waits_total", "Cache lookups that blocked on another engine's in-flight computation."),
+		evictions:  m.Counter("lumen_cache_evictions_total", "Entries dropped by the LRU bound."),
+		entries:    m.Gauge("lumen_cache_entries", "Entries currently stored in the shared cache."),
+		bytes:      m.Gauge("lumen_cache_bytes", "Estimated resident bytes of stored cache values."),
+	}
+	c.syncGauges()
+}
+
+// syncGauges publishes the current entry count and byte estimate. Caller
+// holds mu.
+func (c *Cache) syncGauges() {
+	c.om.entries.Set(float64(len(c.entries)))
+	c.om.bytes.Set(float64(c.bytes))
 }
 
 // cacheEntry is one LRU node.
@@ -118,6 +159,7 @@ func (c *Cache) getOrCompute(key string, compute func() (Value, error)) (v Value
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.hits++
+		c.om.hits.Inc()
 		c.lru.MoveToFront(el)
 		v = el.Value.(*cacheEntry).val
 		c.mu.Unlock()
@@ -125,11 +167,13 @@ func (c *Cache) getOrCompute(key string, compute func() (Value, error)) (v Value
 	}
 	if f, ok := c.inflight[key]; ok {
 		c.dedupWaits++
+		c.om.dedupWaits.Inc()
 		c.mu.Unlock()
 		<-f.done
 		return f.val, f.err, false
 	}
 	c.misses++
+	c.om.misses.Inc()
 	f := &flight{done: make(chan struct{})}
 	c.inflight[key] = f
 	c.mu.Unlock()
@@ -165,6 +209,7 @@ func (c *Cache) insert(key string, v Value) {
 	c.entries[key] = c.lru.PushFront(e)
 	c.bytes += e.bytes
 	c.evict()
+	c.syncGauges()
 }
 
 // evict drops least-recently-used entries until within bound. Caller
@@ -177,7 +222,9 @@ func (c *Cache) evict() {
 		delete(c.entries, e.key)
 		c.bytes -= e.bytes
 		c.evictions++
+		c.om.evictions.Inc()
 	}
+	c.syncGauges()
 }
 
 // valueBytes estimates the resident size of a cached value. Estimates

@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"runtime/metrics"
 	"time"
 
 	"lumen/internal/dataset"
 	"lumen/internal/mlkit"
+	"lumen/internal/obs"
 )
 
 // Mode distinguishes fitting runs from inference runs of a pipeline.
@@ -88,6 +90,11 @@ type opCtx struct {
 	state   map[string]any
 	seed    int64
 	result  *EvalResult
+	// span is the per-op span when tracing is on (nil otherwise); ops
+	// with internal structure (train) hang child events off it.
+	span *obs.Span
+	// metrics is the engine's registry (nil when metrics are off).
+	metrics *obs.Metrics
 }
 
 func (c *opCtx) setState(v any) { c.state[c.outName] = v }
@@ -103,6 +110,14 @@ type Engine struct {
 	// Off by default: wall-clock timing is always on and free, while
 	// allocation counters cost one runtime/metrics read per op boundary.
 	Profiling bool
+	// Span, when set, becomes the parent of one child span per executed
+	// op ("op:<func>" with output/rows_out/cached attributes). Nil (the
+	// default) disables tracing with no allocations on the op path.
+	Span *obs.Span
+	// Metrics, when set, receives per-op counters and wall-time
+	// histograms (lumen_ops_total, lumen_op_wall_seconds,
+	// lumen_op_cache_served_total) plus fit metrics from train ops.
+	Metrics *obs.Metrics
 
 	state map[string]any
 	cache *Cache
@@ -231,7 +246,14 @@ func (e *Engine) run(ds *dataset.Labeled, mode Mode) (*EvalResult, error) {
 		// a hit returns immediately, a miss racing another engine's
 		// computation blocks on its result, and only one engine per key
 		// actually runs the op (singleflight).
-		ctx := &opCtx{mode: mode, outName: op.Output, state: e.state, seed: e.Seed}
+		ctx := &opCtx{mode: mode, outName: op.Output, state: e.state, seed: e.Seed, metrics: e.Metrics}
+		// The explicit nil guard (not just nil-safe methods) keeps the
+		// disabled path allocation-free: the name concatenation below
+		// would allocate even if Child were a no-op.
+		if e.Span != nil {
+			ctx.span = e.Span.Child("op:" + op.Func)
+			ctx.span.Set("output", op.Output)
+		}
 		st := OpStats{Func: op.Func, Output: op.Output}
 		var key string
 		useCache := false
@@ -253,11 +275,14 @@ func (e *Engine) run(ds *dataset.Labeled, mode Mode) (*EvalResult, error) {
 		// For cache hits and dedup-waits Wall is lookup/wait time, not
 		// compute time — what this engine actually spent.
 		st.Wall = time.Since(start)
+		if err == nil {
+			st.OutRows = outRows(out)
+		}
+		e.finishOp(ctx.span, &st, err)
 		if err != nil {
 			return nil, fmt.Errorf("core: op %d (%s -> %s): %w", i, op.Func, op.Output, err)
 		}
 		env[op.Output] = out
-		st.OutRows = outRows(out)
 		e.Profile = append(e.Profile, st)
 		if ctx.result != nil {
 			result = ctx.result
@@ -285,6 +310,51 @@ func (e *Engine) runOp(def *opDef, ctx *opCtx, op OpSpec, in []Value, st *OpStat
 		st.Allocs = heapAllocBytes() - before
 	}
 	return out, err
+}
+
+// finishOp closes the op's span and records its metrics. Both sinks are
+// individually optional; with neither attached this does nothing.
+func (e *Engine) finishOp(sp *obs.Span, st *OpStats, err error) {
+	if sp != nil {
+		sp.Set("rows_out", st.OutRows)
+		sp.Set("cached", st.Cached)
+		if err != nil {
+			sp.Set("error", err.Error())
+		}
+		sp.End()
+	}
+	if e.Metrics != nil {
+		e.Metrics.Counter("lumen_ops_total",
+			"Pipeline operations executed (including cache-served ones).",
+			"op", st.Func).Inc()
+		e.Metrics.Histogram("lumen_op_wall_seconds",
+			"Wall time spent per operation (lookup/wait time for cache-served ops).",
+			nil, "op", st.Func).Observe(st.Wall.Seconds())
+		if st.Cached {
+			e.Metrics.Counter("lumen_op_cache_served_total",
+				"Operations whose result came from the shared cache instead of computation.",
+				"op", st.Func).Inc()
+		}
+	}
+}
+
+// heapAllocName is the cumulative heap-allocation counter sampled around
+// each op when profiling is enabled. Unlike runtime.ReadMemStats it does
+// not stop the world, so profiled engines do not serialize every other
+// goroutine in the process.
+const heapAllocName = "/gc/heap/allocs:bytes"
+
+// heapAllocBytes samples the process-wide cumulative heap allocation
+// counter. The counter is process-global: an op's Allocs delta includes
+// allocations made concurrently by other goroutines, so byte attribution
+// is only exact when one engine runs at a time (see OpStats.Allocs).
+func heapAllocBytes() uint64 {
+	s := [1]metrics.Sample{{Name: heapAllocName}}
+	metrics.Read(s[:])
+	if s[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return s[0].Value.Uint64()
 }
 
 // outRows reports the row count of a frame or grouped output (0 for

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"lumen/internal/obs"
+)
+
+// epochObserver adapts mlkit's per-epoch fit callbacks to the engine's
+// observability sinks: each reported epoch becomes a retroactive child
+// span of the train op plus fit metrics (epoch counter, epoch-duration
+// histogram, last-loss gauge). A fresh observer is attached per train op
+// right before Fit, so prev starts at the fit boundary; ensemble members
+// train sequentially, which keeps the single prev timestamp a valid
+// epoch start for whichever model reports next.
+type epochObserver struct {
+	span    *obs.Span
+	metrics *obs.Metrics
+
+	mu   sync.Mutex
+	prev time.Time
+}
+
+func newEpochObserver(span *obs.Span, m *obs.Metrics) *epochObserver {
+	return &epochObserver{span: span, metrics: m, prev: time.Now()}
+}
+
+// FitEpoch implements mlkit.FitObserver.
+func (o *epochObserver) FitEpoch(model string, epoch int, loss float64) {
+	now := time.Now()
+	o.mu.Lock()
+	start := o.prev
+	o.prev = now
+	o.mu.Unlock()
+	if o.span != nil {
+		o.span.Emit("epoch:"+model, start, now, map[string]any{
+			"model": model, "epoch": epoch, "loss": loss,
+		})
+	}
+	if o.metrics != nil {
+		o.metrics.Counter("lumen_fit_epochs_total",
+			"Completed model-fitting epochs.", "model", model).Inc()
+		o.metrics.Histogram("lumen_fit_epoch_seconds",
+			"Wall time of each model-fitting epoch.", nil, "model", model).
+			Observe(now.Sub(start).Seconds())
+		o.metrics.Gauge("lumen_fit_loss",
+			"Training loss reported by the most recent fitting epoch.",
+			"model", model).Set(loss)
+	}
+}

@@ -226,6 +226,11 @@ func opTrain(ctx *opCtx, in []Value, _ params) (Value, error) {
 		if err != nil {
 			return nil, err
 		}
+		if ctx.span != nil || ctx.metrics != nil {
+			if of, ok := clf.(mlkit.ObservableFitter); ok {
+				of.SetFitObserver(newEpochObserver(ctx.span, ctx.metrics))
+			}
+		}
 		if err := clf.Fit(X, fr.Labels); err != nil {
 			return nil, fmt.Errorf("train: %w", err)
 		}

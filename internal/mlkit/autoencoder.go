@@ -17,7 +17,12 @@ type Autoencoder struct {
 
 	net *MLP
 	d   int
+	obs FitObserver
 }
+
+// SetFitObserver attaches a per-epoch progress observer; epochs are
+// reported under the model name "autoencoder".
+func (a *Autoencoder) SetFitObserver(o FitObserver) { a.obs = o }
 
 // Fit trains the autoencoder to reproduce X.
 func (a *Autoencoder) Fit(X [][]float64) error {
@@ -41,6 +46,9 @@ func (a *Autoencoder) Fit(X [][]float64) error {
 	}
 	sizes = append(sizes, d)
 	a.net = &MLP{Sizes: sizes, Act: ActSigmoid, Epochs: a.Epochs, LR: a.LR, Seed: a.Seed}
+	if a.obs != nil {
+		a.net.obs = named{o: a.obs, name: "autoencoder"}
+	}
 	return a.net.FitTargets(X, X)
 }
 

@@ -18,7 +18,12 @@ type GMM struct {
 	weights []float64
 	means   [][]float64
 	vars    [][]float64
+	obs     FitObserver
 }
+
+// SetFitObserver attaches a progress observer; each EM iteration reports
+// the negative mean log-likelihood as its loss.
+func (g *GMM) SetFitObserver(o FitObserver) { g.obs = o }
 
 func (g *GMM) kval() int {
 	if g.K == 0 {
@@ -99,6 +104,9 @@ func (g *GMM) Fit(X [][]float64) error {
 			}
 		}
 		ll /= n
+		if g.obs != nil {
+			g.obs.FitEpoch("gmm", iter, -ll)
+		}
 		if ll-prevLL < tol && iter > 0 {
 			break
 		}

@@ -29,7 +29,12 @@ type KitNET struct {
 	ensemble []*Autoencoder
 	output   *Autoencoder
 	norm     *MinMaxScaler
+	obs      FitObserver
 }
+
+// SetFitObserver attaches a per-epoch progress observer; the reported
+// loss is the epoch's mean output-autoencoder RMSE.
+func (k *KitNET) SetFitObserver(o FitObserver) { k.obs = o }
 
 // Fit learns the feature map from (a prefix of) X, then trains the ensemble
 // and output layers on min-max–scaled data.
@@ -82,6 +87,7 @@ func (k *KitNET) Fit(X [][]float64) error {
 	sub := make([]float64, 0, k.maxAE())
 	tail := make([]float64, len(k.clusters))
 	for e := 0; e < epochs; e++ {
+		var rmseSum float64
 		for _, row := range Xs {
 			for c, feats := range k.clusters {
 				sub = sub[:0]
@@ -90,7 +96,10 @@ func (k *KitNET) Fit(X [][]float64) error {
 				}
 				tail[c] = clamp01(k.ensemble[c].TrainOne(sub))
 			}
-			k.output.TrainOne(tail)
+			rmseSum += k.output.TrainOne(tail)
+		}
+		if k.obs != nil {
+			k.obs.FitEpoch("kitnet", e, rmseSum/float64(len(Xs)))
 		}
 	}
 	return nil

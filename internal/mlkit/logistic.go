@@ -15,9 +15,14 @@ type LogisticRegression struct {
 	// Seed drives sampling order.
 	Seed int64
 
-	w []float64
-	b float64
+	w   []float64
+	b   float64
+	obs FitObserver
 }
+
+// SetFitObserver attaches a per-epoch progress observer; the reported
+// loss is the epoch's mean log-loss over the sampled points.
+func (l *LogisticRegression) SetFitObserver(o FitObserver) { l.obs = o }
 
 // Fit trains on labels in {0,1}.
 func (l *LogisticRegression) Fit(X [][]float64, y []int) error {
@@ -43,6 +48,7 @@ func (l *LogisticRegression) Fit(X [][]float64, y []int) error {
 	n := len(X)
 	for e := 0; e < epochs; e++ {
 		step := lr / (1 + 0.1*float64(e)) // simple decay
+		var logLoss float64
 		for k := 0; k < n; k++ {
 			i := rng.Intn(n)
 			p := sigmoid(Dot(l.w, X[i]) + l.b)
@@ -51,13 +57,34 @@ func (l *LogisticRegression) Fit(X [][]float64, y []int) error {
 				t = 1
 			}
 			g := p - t
+			if l.obs != nil {
+				logLoss += crossEntropy(p, t)
+			}
 			for j, v := range X[i] {
 				l.w[j] -= step * (g*v + lambda*l.w[j])
 			}
 			l.b -= step * g
 		}
+		if l.obs != nil {
+			l.obs.FitEpoch("logistic", e, logLoss/float64(n))
+		}
 	}
 	return nil
+}
+
+// crossEntropy is the log-loss of predicting probability p for target t,
+// clamped away from 0/1 so a saturated sigmoid stays finite.
+func crossEntropy(p, t float64) float64 {
+	const eps = 1e-12
+	if p < eps {
+		p = eps
+	} else if p > 1-eps {
+		p = 1 - eps
+	}
+	if t != 0 {
+		return -math.Log(p)
+	}
+	return -math.Log(1 - p)
 }
 
 func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }

@@ -65,7 +65,11 @@ type MLP struct {
 	biases  [][]float64   // [layer][out]
 	velW    [][][]float64
 	velB    [][]float64
+	obs     FitObserver
 }
+
+// SetFitObserver attaches a per-epoch progress observer (see FitObserver).
+func (m *MLP) SetFitObserver(o FitObserver) { m.obs = o }
 
 func (m *MLP) lr() float64 {
 	if m.LR == 0 {
@@ -196,8 +200,12 @@ func (m *MLP) FitTargets(X, T [][]float64) error {
 	rng := NewRNG(m.Seed + 1)
 	for e := 0; e < m.epochs(); e++ {
 		perm := rng.Perm(len(X))
+		var sqErr float64
 		for _, i := range perm {
-			m.TrainStep(X[i], T[i])
+			sqErr += m.TrainStep(X[i], T[i])
+		}
+		if m.obs != nil {
+			m.obs.FitEpoch("mlp", e, sqErr/float64(len(X)))
 		}
 	}
 	return nil
@@ -226,7 +234,11 @@ type MLPClassifier struct {
 	Threshold float64
 
 	net *MLP
+	obs FitObserver
 }
+
+// SetFitObserver attaches a per-epoch progress observer (see FitObserver).
+func (c *MLPClassifier) SetFitObserver(o FitObserver) { c.obs = o }
 
 // Fit trains the network on binary labels.
 func (c *MLPClassifier) Fit(X [][]float64, y []int) error {
@@ -241,6 +253,9 @@ func (c *MLPClassifier) Fit(X [][]float64, y []int) error {
 	sizes := append([]int{d}, hidden...)
 	sizes = append(sizes, 1)
 	c.net = &MLP{Sizes: sizes, Act: ActReLU, Epochs: c.Epochs, LR: c.LR, Seed: c.Seed}
+	if c.obs != nil {
+		c.net.obs = c.obs
+	}
 	T := make([][]float64, len(y))
 	for i, label := range y {
 		if label != 0 {

@@ -21,7 +21,12 @@ type OneClassSVM struct {
 
 	w   []float64
 	rho float64
+	obs FitObserver
 }
+
+// SetFitObserver attaches a per-epoch progress observer; the reported
+// loss is the epoch's mean hinge term max(0, ρ − ⟨w,x⟩).
+func (o *OneClassSVM) SetFitObserver(obs FitObserver) { o.obs = obs }
 
 // Fit learns the normality boundary from (assumed mostly benign) X.
 func (o *OneClassSVM) Fit(X [][]float64) error {
@@ -47,6 +52,7 @@ func (o *OneClassSVM) Fit(X [][]float64) error {
 	n := len(X)
 	t := 0
 	for e := 0; e < epochs; e++ {
+		var hinge float64
 		for k := 0; k < n; k++ {
 			t++
 			i := rng.Intn(n)
@@ -57,6 +63,7 @@ func (o *OneClassSVM) Fit(X [][]float64) error {
 				o.w[j] *= decay
 			}
 			if score < o.rho { // hinge active: push w toward x, rho down
+				hinge += o.rho - score
 				for j, v := range X[i] {
 					o.w[j] += eta * v
 				}
@@ -64,6 +71,9 @@ func (o *OneClassSVM) Fit(X [][]float64) error {
 			} else {
 				o.rho += eta * nu
 			}
+		}
+		if o.obs != nil {
+			o.obs.FitEpoch("ocsvm", e, hinge/float64(n))
 		}
 	}
 	return nil

@@ -16,7 +16,12 @@ type LinearSVM struct {
 	b float64
 	// scale calibrates Proba's logistic squashing.
 	scale float64
+	obs   FitObserver
 }
+
+// SetFitObserver attaches a per-epoch progress observer; the reported
+// loss is the epoch's mean hinge loss over the sampled points.
+func (s *LinearSVM) SetFitObserver(o FitObserver) { s.obs = o }
 
 // Fit trains on X with labels y in {0,1} (mapped internally to ±1).
 func (s *LinearSVM) Fit(X [][]float64, y []int) error {
@@ -38,6 +43,7 @@ func (s *LinearSVM) Fit(X [][]float64, y []int) error {
 	n := len(X)
 	t := 0
 	for e := 0; e < epochs; e++ {
+		var hinge float64
 		for k := 0; k < n; k++ {
 			t++
 			i := rng.Intn(n)
@@ -53,11 +59,15 @@ func (s *LinearSVM) Fit(X [][]float64, y []int) error {
 				s.w[j] *= decay
 			}
 			if margin < 1 {
+				hinge += 1 - margin
 				for j, v := range X[i] {
 					s.w[j] += eta * yi * v
 				}
 				s.b += eta * yi
 			}
+		}
+		if s.obs != nil {
+			s.obs.FitEpoch("linear_svm", e, hinge/float64(n))
 		}
 	}
 	// Calibrate a logistic scale from the margin spread.

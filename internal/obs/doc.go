@@ -1,0 +1,38 @@
+// Package obs is Lumen's observability layer: a hierarchical span tracer
+// and a lightweight metrics registry, both standard-library only.
+//
+// It makes every benchmark run explainable — the paper's engine already
+// "generates plots of memory and time spent in each operation" (§4); obs
+// generalizes that into structured, tool-readable telemetry for the whole
+// stack: suite → run → op → model-fit-epoch spans, and Prometheus-style
+// counters, gauges and histograms for the shared cache, the worker pool
+// and the training loops.
+//
+// # Tracing
+//
+// A Tracer collects Spans. Spans nest: Child opens a sub-span, End
+// finishes one, Set attaches attributes (rows in/out, cache hit/miss,
+// worker id...). Finished spans export in two formats:
+//
+//   - WriteChromeTrace: Chrome trace_event JSON, openable directly in
+//     Perfetto (https://ui.perfetto.dev) or chrome://tracing;
+//   - WriteJSONL: one flat JSON object per span, for jq/scripts.
+//
+// # Metrics
+//
+// A Metrics registry hands out Counter, Gauge and Histogram instruments,
+// identified by name plus an optional fixed label set, and renders them
+// in the Prometheus text exposition format (WritePrometheus / Handler).
+//
+// # Disabled state and overhead
+//
+// The zero values are the disabled state: a nil *Tracer returns nil
+// *Spans, a nil *Metrics returns nil instruments, and every method on a
+// nil receiver is a no-op. Call sites on hot paths guard with a single
+// nil check, so a run with observability off performs no allocations and
+// no atomic operations for it (verified by TestDisabledObsAllocs and the
+// op-dispatch benchmark in internal/core).
+//
+// See OBSERVABILITY.md at the repository root for span and metric naming
+// conventions and worked examples.
+package obs

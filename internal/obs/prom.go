@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered instrument in the Prometheus
+// text exposition format (version 0.0.4): families sorted by name, each
+// preceded by # HELP and # TYPE lines, histograms expanded into
+// cumulative _bucket{le=...} series plus _sum and _count.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	names := make([]string, 0, len(m.fams))
+	for name := range m.fams {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, m.fams[name])
+	}
+	m.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, ls := range f.order {
+			switch inst := f.series[ls].(type) {
+			case *Counter:
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, ls, inst.Value())
+			case *Gauge:
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, ls, formatFloat(inst.Value()))
+			case *Histogram:
+				writeHistogram(bw, f.name, ls, inst)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with
+// the le label merged into any existing labels, then _sum and _count.
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) {
+	bounds, cum, sum, total := h.snapshot()
+	for i, b := range bounds {
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabel(labels, "le", formatFloat(b)), cum[i])
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabel(labels, "le", "+Inf"), total)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, total)
+}
+
+// mergeLabel appends one more label pair to an already-rendered label
+// string ("" or "{k=\"v\",...}").
+func mergeLabel(labels, k, v string) string {
+	pair := k + `="` + escapeLabel(v) + `"`
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// formatFloat renders a float the way Prometheus expects (shortest
+// round-trip representation; +Inf/-Inf/NaN spelled out).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheusFile writes the exposition to path.
+func (m *Metrics) WritePrometheusFile(path string) error {
+	if m == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Handler returns an http.Handler serving the exposition — mount it on
+// /metrics to let Prometheus scrape a live run.
+func (m *Metrics) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.WritePrometheus(w)
+	})
+}

@@ -257,3 +257,33 @@ func HumanBytes(n int64) string {
 	}
 	return fmt.Sprintf("%.1f%ciB", float64(n)/float64(div), "KMGTPE"[exp])
 }
+
+// Sparkline renders vals as a one-line unicode block graph ("▁▃▇…"),
+// scaled to the min/max of the series — the compact loss-curve view the
+// CLI prints per trained model. Empty input yields an empty string; a
+// constant series renders mid-height blocks.
+func Sparkline(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	out := make([]rune, len(vals))
+	for i, v := range vals {
+		if hi == lo {
+			out[i] = blocks[len(blocks)/2]
+			continue
+		}
+		idx := int((v - lo) / (hi - lo) * float64(len(blocks)-1))
+		out[i] = blocks[idx]
+	}
+	return string(out)
+}

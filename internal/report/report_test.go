@@ -111,3 +111,22 @@ func TestShadeBands(t *testing.T) {
 		}
 	}
 }
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("Sparkline(nil) = %q, want empty", got)
+	}
+	got := Sparkline([]float64{0, 0.5, 1})
+	if want := "▁▄█"; got != want {
+		t.Errorf("Sparkline ramp = %q, want %q", got, want)
+	}
+	// A constant series must not divide by zero.
+	if got := Sparkline([]float64{2, 2, 2}); len([]rune(got)) != 3 {
+		t.Errorf("constant sparkline = %q, want 3 runes", got)
+	}
+	// Descending loss curve: first rune highest, last lowest.
+	r := []rune(Sparkline([]float64{9, 5, 3, 2, 1}))
+	if r[0] != '█' || r[len(r)-1] != '▁' {
+		t.Errorf("descending sparkline = %q", string(r))
+	}
+}
