@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench race vet docs-lint check
+.PHONY: build test bench bench-paper race vet docs-lint check
 
 build:
 	$(GO) build ./...
@@ -8,16 +8,30 @@ build:
 test:
 	$(GO) test ./...
 
+# bench runs the numeric-kernel and model micro-benchmarks (mlkit +
+# linalg; see internal/mlkit/perf_bench_test.go) with a fixed -benchtime
+# and records machine-readable results in BENCH_PR3.json under the
+# "current" label via cmd/benchjson (best of -count runs per benchmark,
+# which filters noisy-neighbour interference on shared machines).
+# Re-run on a baseline checkout with BENCH_LABEL=baseline to fill in the
+# before/after speedup table.
+BENCH_LABEL ?= current
 bench:
+	$(GO) test -bench=. -benchtime=300ms -count=3 -run='^$$' ./internal/mlkit/... \
+		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out BENCH_PR3.json
+
+# bench-paper runs the paper table/figure reproduction benchmarks once each.
+bench-paper:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
 vet:
 	$(GO) vet ./...
 
 # race runs the concurrency-sensitive packages (engine/cache singleflight,
-# span tracer, benchsuite worker pool) under the race detector.
+# span tracer, benchsuite worker pool, and the mlkit/linalg row-parallel
+# kernels) under the race detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/benchsuite/... ./internal/obs/...
+	$(GO) test -race ./internal/core/... ./internal/benchsuite/... ./internal/obs/... ./internal/mlkit/...
 
 # docs-lint enforces the documentation floor (see doclint_test.go):
 # package comments everywhere under internal/ and cmd/, doc comments on

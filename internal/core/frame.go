@@ -2,7 +2,10 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"strconv"
+
+	"lumen/internal/mlkit"
+	"lumen/internal/mlkit/linalg"
 )
 
 // UnitKind declares what one frame row represents, so predictions can be
@@ -91,24 +94,31 @@ func (f *Frame) Names() []string {
 	return out
 }
 
-// Matrix renders the numeric columns as row-major feature vectors, the
-// form mlkit models consume. Categorical columns are skipped.
-func (f *Frame) Matrix() [][]float64 {
+// FlatMatrix renders the numeric columns as one flat row-major matrix —
+// a single backing allocation regardless of row count, in the form the
+// linalg kernels consume directly. Categorical columns are skipped.
+func (f *Frame) FlatMatrix() *linalg.Dense {
 	var numeric []*Column
 	for i := range f.Cols {
 		if f.Cols[i].IsNumeric() {
 			numeric = append(numeric, &f.Cols[i])
 		}
 	}
-	X := make([][]float64, f.N)
-	for r := 0; r < f.N; r++ {
-		row := make([]float64, len(numeric))
-		for j, c := range numeric {
-			row[j] = c.F[r]
+	m := linalg.NewDense(f.N, len(numeric))
+	for j, c := range numeric {
+		src := c.F
+		for r, v := range src {
+			m.Data[r*m.Cols+j] = v
 		}
-		X[r] = row
 	}
-	return X
+	return m
+}
+
+// Matrix renders the numeric columns as row-major feature vectors, the
+// form mlkit models consume. It is a compatibility view over FlatMatrix:
+// the returned rows share one flat backing array.
+func (f *Frame) Matrix() [][]float64 {
+	return f.FlatMatrix().RowViews()
 }
 
 // Select returns a new frame with only the named columns (sharing column
@@ -141,8 +151,31 @@ func (f *Frame) FilterRows(keep []bool) *Frame {
 	return f.TakeRows(idx)
 }
 
-// TakeRows returns a new frame with the given rows, in order.
+// TakeRows returns a new frame with the given rows, in order. An
+// identity permutation (all rows, original order) is detected in O(n)
+// and returns a view sharing the column data, like Select.
 func (f *Frame) TakeRows(idx []int) *Frame {
+	if len(idx) == f.N {
+		identity := true
+		for i, r := range idx {
+			if r != i {
+				identity = false
+				break
+			}
+		}
+		if identity {
+			out := NewFrame(f.N)
+			out.Unit, out.UnitIdx, out.Labels, out.Attacks = f.Unit, f.UnitIdx, f.Labels, f.Attacks
+			for _, c := range f.Cols {
+				if c.IsNumeric() {
+					out.AddF(c.Name, c.F)
+				} else {
+					out.AddS(c.Name, c.S)
+				}
+			}
+			return out
+		}
+	}
 	out := NewFrame(len(idx))
 	out.Unit = f.Unit
 	if f.UnitIdx != nil {
@@ -206,21 +239,26 @@ func groupRows(f *Frame, keyCols []string) (*Grouped, error) {
 	}
 	g := &Grouped{F: f, GroupOf: make([]int, f.N)}
 	index := map[string]int{}
+	// Keys are built into one reused byte buffer: strconv.AppendFloat with
+	// 'g'/-1 emits exactly what fmt.Sprintf("%g") did, without the fmt
+	// machinery or the per-column string concatenations.
+	var buf []byte
 	for r := 0; r < f.N; r++ {
-		key := ""
+		buf = buf[:0]
 		for i, c := range cols {
 			if i > 0 {
-				key += "|"
+				buf = append(buf, '|')
 			}
 			if c.IsNumeric() {
-				key += fmt.Sprintf("%g", c.F[r])
+				buf = appendG(buf, c.F[r])
 			} else {
-				key += c.S[r]
+				buf = append(buf, c.S[r]...)
 			}
 		}
-		gi, ok := index[key]
+		gi, ok := index[string(buf)]
 		if !ok {
 			gi = len(g.Groups)
+			key := string(buf)
 			index[key] = gi
 			g.Keys = append(g.Keys, key)
 			g.Groups = append(g.Groups, nil)
@@ -231,9 +269,13 @@ func groupRows(f *Frame, keyCols []string) (*Grouped, error) {
 	return g, nil
 }
 
-// sortedCopy returns a sorted copy of xs.
+// appendG appends v formatted exactly as fmt.Sprintf("%g", v): shortest
+// round-trip representation, including fmt's "+Inf"/"-Inf"/"NaN" forms.
+func appendG(buf []byte, v float64) []byte {
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+// sortedCopy returns a sorted copy of xs (shared sort helper in mlkit).
 func sortedCopy(xs []float64) []float64 {
-	cp := append([]float64(nil), xs...)
-	sort.Float64s(cp)
-	return cp
+	return mlkit.SortedCopy(xs, nil)
 }

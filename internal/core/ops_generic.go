@@ -136,39 +136,41 @@ func parseAggs(p params) ([]aggSpec, error) {
 }
 
 // aggregate computes one aggregate function over the group rows of col.
-func aggregate(c *Column, rows []int, fn string, tsCol *Column) (float64, error) {
+// scratch (optional) backs the temporary value copy for fns that need
+// one; a worker that aggregates many groups should pass a reused buffer.
+// min/max/sum/first/last/count scan the column directly — no copy, no
+// sort.
+func aggregate(c *Column, rows []int, fn string, tsCol *Column, scratch []float64) (float64, error) {
 	if c.IsNumeric() {
-		vals := make([]float64, len(rows))
-		for i, r := range rows {
-			vals[i] = c.F[r]
-		}
 		switch fn {
-		case "mean":
-			return mlkit.Mean(vals), nil
-		case "std":
-			return math.Sqrt(mlkit.Variance(vals)), nil
-		case "var":
-			return mlkit.Variance(vals), nil
-		case "median":
-			return mlkit.Quantile(vals, 0.5), nil
 		case "min":
-			s := sortedCopy(vals)
-			return s[0], nil
+			m := c.F[rows[0]]
+			for _, r := range rows[1:] {
+				if v := c.F[r]; v < m {
+					m = v
+				}
+			}
+			return m, nil
 		case "max":
-			s := sortedCopy(vals)
-			return s[len(s)-1], nil
+			m := c.F[rows[0]]
+			for _, r := range rows[1:] {
+				if v := c.F[r]; v > m {
+					m = v
+				}
+			}
+			return m, nil
 		case "sum":
 			var t float64
-			for _, v := range vals {
-				t += v
+			for _, r := range rows {
+				t += c.F[r]
 			}
 			return t, nil
 		case "count":
-			return float64(len(vals)), nil
+			return float64(len(rows)), nil
 		case "first":
-			return vals[0], nil
+			return c.F[rows[0]], nil
 		case "last":
-			return vals[len(vals)-1], nil
+			return c.F[rows[len(rows)-1]], nil
 		case "rate", "bandwidth":
 			// events (or units) per second over the group's time span.
 			if tsCol == nil {
@@ -182,10 +184,28 @@ func aggregate(c *Column, rows []int, fn string, tsCol *Column) (float64, error)
 				return float64(len(rows)) / span, nil
 			}
 			var t float64
-			for _, v := range vals {
-				t += v
+			for _, r := range rows {
+				t += c.F[r]
 			}
 			return t / span, nil
+		}
+		if cap(scratch) < len(rows) {
+			scratch = make([]float64, len(rows))
+		}
+		vals := scratch[:len(rows)]
+		for i, r := range rows {
+			vals[i] = c.F[r]
+		}
+		switch fn {
+		case "mean":
+			return mlkit.Mean(vals), nil
+		case "std":
+			return math.Sqrt(mlkit.Variance(vals)), nil
+		case "var":
+			return mlkit.Variance(vals), nil
+		case "median":
+			// vals is already a scratch copy — sort in place, one pass.
+			return mlkit.QuantileSorted(mlkit.SortedCopy(vals, vals), 0.5), nil
 		case "distinct":
 			seen := map[float64]bool{}
 			for _, v := range vals {
@@ -267,10 +287,14 @@ func opApplyAggregates(_ *opCtx, in []Value, p params) (Value, error) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			var scratch []float64 // per-worker, reused across groups
 			for gi := lo; gi < hi; gi++ {
 				rows := g.Groups[gi]
+				if cap(scratch) < len(rows) {
+					scratch = make([]float64, len(rows))
+				}
 				for j, spec := range specs {
-					v, err := aggregate(srcCols[j], rows, spec.fn, tsCol)
+					v, err := aggregate(srcCols[j], rows, spec.fn, tsCol, scratch[:0])
 					if err != nil {
 						mu.Lock()
 						if firstErr == nil {
@@ -320,8 +344,12 @@ func opBroadcastAggregates(_ *opCtx, in []Value, p params) (Value, error) {
 			return nil, fmt.Errorf("broadcast_aggregates: no column %q", spec.col)
 		}
 		perGroup := make([]float64, len(g.Groups))
+		var scratch []float64
 		for gi, rows := range g.Groups {
-			v, err := aggregate(c, rows, spec.fn, tsCol)
+			if cap(scratch) < len(rows) {
+				scratch = make([]float64, len(rows))
+			}
+			v, err := aggregate(c, rows, spec.fn, tsCol, scratch[:0])
 			if err != nil {
 				return nil, err
 			}

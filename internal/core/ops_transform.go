@@ -175,10 +175,14 @@ func opClip(ctx *opCtx, in []Value, p params) (Value, error) {
 	if ctx.mode == ModeTrain {
 		q := p.f64("quantile", 0.99)
 		st = &clipState{cols: numericNames(f)}
+		// One sort per column serves both quantiles; the scratch buffer
+		// is reused across columns (all have f.N values).
+		var scratch []float64
 		for _, name := range st.cols {
 			c := f.Col(name)
-			st.lo = append(st.lo, mlkit.Quantile(c.F, 1-q))
-			st.hi = append(st.hi, mlkit.Quantile(c.F, q))
+			scratch = mlkit.SortedCopy(c.F, scratch)
+			st.lo = append(st.lo, mlkit.QuantileSorted(scratch, 1-q))
+			st.hi = append(st.hi, mlkit.QuantileSorted(scratch, q))
 		}
 		ctx.setState(st)
 	} else {

@@ -24,13 +24,9 @@ type Autoencoder struct {
 // reported under the model name "autoencoder".
 func (a *Autoencoder) SetFitObserver(o FitObserver) { a.obs = o }
 
-// Fit trains the autoencoder to reproduce X.
-func (a *Autoencoder) Fit(X [][]float64) error {
-	d, err := checkXY(X, nil)
-	if err != nil {
-		return err
-	}
-	a.d = d
+// sizes builds the mirrored encoder/decoder layer widths for input
+// dimension d.
+func (a *Autoencoder) sizes(d int) []int {
 	hidden := a.Hidden
 	if len(hidden) == 0 {
 		b := d * 3 / 4
@@ -44,20 +40,36 @@ func (a *Autoencoder) Fit(X [][]float64) error {
 	for i := len(hidden) - 2; i >= 0; i-- {
 		sizes = append(sizes, hidden[i])
 	}
-	sizes = append(sizes, d)
-	a.net = &MLP{Sizes: sizes, Act: ActSigmoid, Epochs: a.Epochs, LR: a.LR, Seed: a.Seed}
+	return append(sizes, d)
+}
+
+// Fit trains the autoencoder to reproduce X.
+func (a *Autoencoder) Fit(X [][]float64) error {
+	d, err := checkXY(X, nil)
+	if err != nil {
+		return err
+	}
+	a.d = d
+	a.net = &MLP{Sizes: a.sizes(d), Act: ActSigmoid, Epochs: a.Epochs, LR: a.LR, Seed: a.Seed}
 	if a.obs != nil {
 		a.net.obs = named{o: a.obs, name: "autoencoder"}
 	}
 	return a.net.FitTargets(X, X)
 }
 
-// Score returns per-row reconstruction RMSE.
+// Score returns per-row reconstruction RMSE, streaming X through the
+// network in minibatch GEMM passes.
 func (a *Autoencoder) Score(X [][]float64) []float64 {
 	out := make([]float64, len(X))
-	for i, row := range X {
-		out[i] = a.ScoreOne(row)
-	}
+	a.net.VisitOutputs(X, func(i int, rec []float64) {
+		row := X[i]
+		var s float64
+		for j := range row {
+			e := row[j] - rec[j]
+			s += e * e
+		}
+		out[i] = math.Sqrt(s / float64(len(row)))
+	})
 	return out
 }
 
@@ -73,28 +85,37 @@ func (a *Autoencoder) ScoreOne(row []float64) float64 {
 	return math.Sqrt(s / float64(len(row)))
 }
 
+// ensureNet lazily builds the network for streaming training entry
+// points that may run before Fit.
+func (a *Autoencoder) ensureNet(d int) {
+	if a.net != nil {
+		return
+	}
+	a.d = d
+	a.net = &MLP{Sizes: a.sizes(d), Act: ActSigmoid, Epochs: a.Epochs, LR: a.LR, Seed: a.Seed}
+	a.net.Init()
+}
+
 // TrainOne performs one online training step on a single row and returns
 // its pre-update RMSE — Kitsune trains this way, packet by packet.
 func (a *Autoencoder) TrainOne(row []float64) float64 {
-	if a.net == nil {
-		a.d = len(row)
-		hidden := a.Hidden
-		if len(hidden) == 0 {
-			b := a.d * 3 / 4
-			if b < 1 {
-				b = 1
-			}
-			hidden = []int{b}
-		}
-		sizes := []int{a.d}
-		sizes = append(sizes, hidden...)
-		for i := len(hidden) - 2; i >= 0; i-- {
-			sizes = append(sizes, hidden[i])
-		}
-		sizes = append(sizes, a.d)
-		a.net = &MLP{Sizes: sizes, Act: ActSigmoid, Epochs: a.Epochs, LR: a.LR, Seed: a.Seed}
-		a.net.Init()
-	}
+	a.ensureNet(len(row))
 	sq := a.net.TrainStep(row, row)
 	return math.Sqrt(sq / float64(len(row)))
+}
+
+// TrainBatchRows performs one minibatch training step on X[idx] (a
+// single forward/backward GEMM pass and weight update) and fills rmse —
+// len(idx) long — with each row's pre-update reconstruction RMSE.
+// KitNET's ensemble trains through this instead of per-row TrainOne.
+func (a *Autoencoder) TrainBatchRows(X [][]float64, idx []int, rmse []float64) {
+	if len(idx) == 0 {
+		return
+	}
+	a.ensureNet(len(X[idx[0]]))
+	a.net.TrainBatchRows(X, X, idx, rmse)
+	inv := 1 / float64(a.net.Sizes[0])
+	for i := range rmse[:len(idx)] {
+		rmse[i] = math.Sqrt(rmse[i] * inv)
+	}
 }

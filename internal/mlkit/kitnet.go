@@ -84,6 +84,12 @@ func (k *KitNET) Fit(X [][]float64) error {
 	}
 	k.output = &Autoencoder{Hidden: []int{ob}, LR: lr, Seed: k.Seed + 7919}
 
+	// Training stays row-by-row online SGD — Kitsune trains packet by
+	// packet, and the detectors that threshold on training-score
+	// distributions depend on that convergence behaviour. The flat
+	// kernels still speed this path up (scratch reuse, ILP dot products);
+	// the batched GEMM form is reserved for Score, where it changes
+	// nothing but throughput.
 	sub := make([]float64, 0, k.maxAE())
 	tail := make([]float64, len(k.clusters))
 	for e := 0; e < epochs; e++ {
@@ -113,23 +119,29 @@ func (k *KitNET) maxAE() int {
 }
 
 // Score returns the output autoencoder's RMSE per row (higher = more
-// anomalous).
+// anomalous). Each ensemble member scores its feature subset over the
+// whole frame in batched GEMM passes; the output AE then scores the
+// assembled tail matrix the same way.
 func (k *KitNET) Score(X [][]float64) []float64 {
 	Xs := k.norm.Transform(X)
-	out := make([]float64, len(Xs))
-	sub := make([]float64, 0, k.maxAE())
-	tail := make([]float64, len(k.clusters))
-	for i, row := range Xs {
-		for c, feats := range k.clusters {
-			sub = sub[:0]
-			for _, f := range feats {
-				sub = append(sub, row[f])
-			}
-			tail[c] = clamp01(k.ensemble[c].ScoreOne(sub))
-		}
-		out[i] = k.output.ScoreOne(tail)
+	tails := make([][]float64, len(Xs))
+	for i := range tails {
+		tails[i] = make([]float64, len(k.clusters))
 	}
-	return out
+	sub := make([][]float64, len(Xs))
+	for c, feats := range k.clusters {
+		for i, row := range Xs {
+			dst := make([]float64, len(feats))
+			for j, f := range feats {
+				dst[j] = row[f]
+			}
+			sub[i] = dst
+		}
+		for i, s := range k.ensemble[c].Score(sub) {
+			tails[i][c] = clamp01(s)
+		}
+	}
+	return k.output.Score(tails)
 }
 
 func clamp01(x float64) float64 {

@@ -1,6 +1,10 @@
 package mlkit
 
-import "math"
+import (
+	"math"
+
+	"lumen/internal/mlkit/linalg"
+)
 
 // KMeans clusters rows into K groups by Lloyd's algorithm with k-means++
 // initialization. It backs GMM initialization and Nyström landmark picking.
@@ -23,6 +27,25 @@ func (k *KMeans) kval() int {
 	return k.K
 }
 
+// assignRows fills out[i] with the nearest-center index for each row.
+// Rows split across the worker pool; each element is written by exactly
+// one goroutine scanning centers in index order with a strict <, so the
+// result is bit-identical for any worker count.
+func assignRows(X [][]float64, centers [][]float64, out []int) {
+	linalg.ParallelRows(len(X), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := X[i]
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if d := SqDist(row, ctr); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			out[i] = best
+		}
+	})
+}
+
 // Fit computes the centroids. When K exceeds the number of rows the extra
 // centers duplicate data points.
 func (k *KMeans) Fit(X [][]float64) error {
@@ -37,17 +60,13 @@ func (k *KMeans) Fit(X [][]float64) error {
 		maxIter = 50
 	}
 	assign := make([]int, len(X))
+	scratch := make([]int, len(X))
 	for iter := 0; iter < maxIter; iter++ {
+		assignRows(X, k.Centers, scratch)
 		changed := false
-		for i, row := range X {
-			best, bestD := 0, math.Inf(1)
-			for c, ctr := range k.Centers {
-				if d := SqDist(row, ctr); d < bestD {
-					best, bestD = c, d
-				}
-			}
-			if assign[i] != best {
-				assign[i] = best
+		for i, c := range scratch {
+			if assign[i] != c {
+				assign[i] = c
 				changed = true
 			}
 		}
@@ -84,32 +103,37 @@ func (k *KMeans) Fit(X [][]float64) error {
 // Assign returns the nearest-center index per row.
 func (k *KMeans) Assign(X [][]float64) []int {
 	out := make([]int, len(X))
-	for i, row := range X {
-		best, bestD := 0, math.Inf(1)
-		for c, ctr := range k.Centers {
-			if d := SqDist(row, ctr); d < bestD {
-				best, bestD = c, d
-			}
-		}
-		out[i] = best
-	}
+	assignRows(X, k.Centers, out)
 	return out
 }
 
+// kmeansPlusPlus seeds k centers. The min-distance table is maintained
+// incrementally — each round folds only the newest center in with
+// dist[i] = min(dist[i], SqDist(row, newest)), which is value-identical
+// to recomputing the minimum over all centers (min is order-independent)
+// at a k-fold lower cost. The fold parallelizes over rows; the sampling
+// weights are summed serially in row order.
 func kmeansPlusPlus(X [][]float64, k int, rng *RNG) [][]float64 {
 	centers := make([][]float64, 0, k)
 	centers = append(centers, append([]float64(nil), X[rng.Intn(len(X))]...))
 	dist := make([]float64, len(X))
-	for len(centers) < k {
-		var total float64
-		for i, row := range X {
-			d := math.Inf(1)
-			for _, c := range centers {
-				if dd := SqDist(row, c); dd < d {
-					d = dd
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	for {
+		newest := centers[len(centers)-1]
+		linalg.ParallelRows(len(X), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if d := SqDist(X[i], newest); d < dist[i] {
+					dist[i] = d
 				}
 			}
-			dist[i] = d
+		})
+		if len(centers) >= k {
+			break
+		}
+		var total float64
+		for _, d := range dist {
 			total += d
 		}
 		if total == 0 {

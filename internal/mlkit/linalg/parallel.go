@@ -1,0 +1,107 @@
+package linalg
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// workerOverride, when > 0, fixes the worker count (tests use it to
+// prove bit-identical results across pool sizes). 0 means GOMAXPROCS.
+var workerOverride atomic.Int32
+
+// SetWorkers overrides the number of goroutines ParallelRows fans out
+// to; n <= 0 restores the GOMAXPROCS default. It returns the previous
+// override so tests can defer-restore.
+func SetWorkers(n int) int {
+	prev := int(workerOverride.Load())
+	if n < 0 {
+		n = 0
+	}
+	workerOverride.Store(int32(n))
+	return prev
+}
+
+// Workers reports the current fan-out width.
+func Workers() int {
+	if n := int(workerOverride.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parallelThreshold is the row count below which ParallelRows stays
+// serial — goroutine handoff costs more than the work it would split.
+const parallelThreshold = 64
+
+// ParallelRows splits [0, n) into one contiguous range per worker and
+// runs fn on each concurrently, blocking until all complete. fn must
+// write only to row-indexed state inside its range; under that contract
+// the result is bit-identical for any worker count, because every row is
+// produced by the same serial code regardless of how ranges are drawn.
+//
+// Reductions must NOT accumulate across fn calls in completion order —
+// use SumBlocks (fixed shards, fixed combine order) instead.
+func ParallelRows(n int, fn func(lo, hi int)) {
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 || n < parallelThreshold {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// sumBlockSize is the fixed shard width for parallel reductions. It is a
+// constant — never derived from the worker count — so the partials and
+// their combine order are identical no matter how the shards were
+// scheduled.
+const sumBlockSize = 1024
+
+// SumBlocks reduces fn over [0, n) deterministically: the range is cut
+// into fixed-size shards, fn produces one partial per shard (shards may
+// run on any worker), and the partials are summed serially in shard
+// order. The result is bit-identical to a serial run for any worker
+// count.
+func SumBlocks(n int, fn func(lo, hi int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	nb := (n + sumBlockSize - 1) / sumBlockSize
+	if nb == 1 {
+		return fn(0, n)
+	}
+	partials := make([]float64, nb)
+	ParallelRows(nb, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo := b * sumBlockSize
+			hi := lo + sumBlockSize
+			if hi > n {
+				hi = n
+			}
+			partials[b] = fn(lo, hi)
+		}
+	})
+	var s float64
+	for _, p := range partials {
+		s += p
+	}
+	return s
+}

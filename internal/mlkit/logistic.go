@@ -1,6 +1,10 @@
 package mlkit
 
-import "math"
+import (
+	"math"
+
+	"lumen/internal/mlkit/linalg"
+)
 
 // LogisticRegression is a binary logistic classifier trained by SGD with
 // L2 regularization. It broadens the AutoML search space and the grid
@@ -101,11 +105,15 @@ func (l *LogisticRegression) Predict(X [][]float64) []int {
 	return out
 }
 
-// Proba returns P(y=1|x) per row.
+// Proba returns P(y=1|x) per row. Rows split across the worker pool;
+// each element is written by exactly one goroutine, so results are
+// bit-identical for any worker count.
 func (l *LogisticRegression) Proba(X [][]float64) []float64 {
 	out := make([]float64, len(X))
-	for i, row := range X {
-		out[i] = sigmoid(Dot(l.w, row) + l.b)
-	}
+	linalg.ParallelRows(len(X), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = sigmoid(linalg.Dot(l.w, X[i]) + l.b)
+		}
+	})
 	return out
 }

@@ -3,6 +3,8 @@ package mlkit
 import (
 	"math"
 	"sort"
+
+	"lumen/internal/mlkit/linalg"
 )
 
 // Thin wrappers keep call sites short inside hot loops.
@@ -10,13 +12,10 @@ func sqrt(x float64) float64 { return math.Sqrt(x) }
 func log(x float64) float64  { return math.Log(x) }
 func exp(x float64) float64  { return math.Exp(x) }
 
-// Dot returns the inner product of two equal-length vectors.
+// Dot returns the inner product of two equal-length vectors, delegating
+// to the multi-accumulator linalg kernel.
 func Dot(a, b []float64) float64 {
-	var s float64
-	for i := range a {
-		s += a[i] * b[i]
-	}
-	return s
+	return linalg.Dot(a, b)
 }
 
 // SqDist returns the squared Euclidean distance between a and b.
@@ -55,27 +54,46 @@ func Variance(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
+// SortedCopy returns xs sorted ascending without reordering the input,
+// reusing scratch's backing array when it has the capacity. Pass nil to
+// allocate; pass a retained buffer to sort many same-length slices (e.g.
+// per-column quantiles) with one allocation.
+func SortedCopy(xs, scratch []float64) []float64 {
+	if cap(scratch) < len(xs) {
+		scratch = make([]float64, len(xs))
+	}
+	scratch = scratch[:len(xs)]
+	copy(scratch, xs)
+	sort.Float64s(scratch)
+	return scratch
+}
+
+// QuantileSorted returns the q-th quantile (q in [0,1], linear
+// interpolation) of an ascending-sorted slice. Use it with SortedCopy to
+// take several quantiles of one column with a single sort.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
 // Quantile returns the q-th quantile of xs (q in [0,1]) with linear
 // interpolation; it copies xs so the input is not reordered.
 func Quantile(xs []float64, q float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	cp := append([]float64(nil), xs...)
-	sort.Float64s(cp)
-	if q <= 0 {
-		return cp[0]
-	}
-	if q >= 1 {
-		return cp[len(cp)-1]
-	}
-	pos := q * float64(len(cp)-1)
-	lo := int(pos)
-	frac := pos - float64(lo)
-	if lo+1 >= len(cp) {
-		return cp[lo]
-	}
-	return cp[lo]*(1-frac) + cp[lo+1]*frac
+	return QuantileSorted(SortedCopy(xs, nil), q)
 }
 
 // ArgMax returns the index of the maximum element (first on ties), or -1 for

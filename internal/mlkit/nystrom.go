@@ -1,6 +1,10 @@
 package mlkit
 
-import "math"
+import (
+	"math"
+
+	"lumen/internal/mlkit/linalg"
+)
 
 // NystromMap approximates an RBF-kernel feature space by projecting each
 // input onto kernel evaluations against M landmark points, whitened by the
@@ -16,7 +20,8 @@ type NystromMap struct {
 	Seed int64
 
 	landmarks [][]float64
-	proj      [][]float64 // K_mm^{-1/2}, M×M
+	proj      [][]float64   // K_mm^{-1/2}, M×M
+	projFlat  *linalg.Dense // proj in flat row-major form for the GEMM path
 	gamma     float64
 }
 
@@ -71,29 +76,33 @@ func (ny *NystromMap) Fit(X [][]float64) error {
 			}
 		}
 	}
+	ny.projFlat = linalg.FromRows(ny.proj)
 	return nil
 }
 
-// Transform maps rows into the M-dimensional Nyström feature space.
+// Transform maps rows into the M-dimensional Nyström feature space. The
+// landmark kernel evaluations fill an n×M matrix with rows split across
+// the worker pool (disjoint writes, deterministic for any worker count);
+// the whitening projection is then one cache-blocked GEMM, exploiting
+// that proj is symmetric so K·proj = K·projᵀ.
 func (ny *NystromMap) Transform(X [][]float64) [][]float64 {
 	m := len(ny.landmarks)
-	out := make([][]float64, len(X))
-	kx := make([]float64, m)
-	for i, row := range X {
-		for j, z := range ny.landmarks {
-			kx[j] = math.Exp(-ny.gamma * SqDist(row, z))
-		}
-		feat := make([]float64, m)
-		for a := 0; a < m; a++ {
-			var s float64
-			for b := 0; b < m; b++ {
-				s += ny.proj[a][b] * kx[b]
-			}
-			feat[a] = s
-		}
-		out[i] = feat
+	if m == 0 {
+		return linalg.NewDense(len(X), 0).RowViews()
 	}
-	return out
+	kx := linalg.NewDense(len(X), m)
+	linalg.ParallelRows(len(X), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := X[i]
+			kr := kx.Row(i)
+			for j, z := range ny.landmarks {
+				kr[j] = math.Exp(-ny.gamma * SqDist(row, z))
+			}
+		}
+	})
+	out := linalg.NewDense(len(X), m)
+	linalg.MatMulT(kx, ny.projFlat, out)
+	return out.RowViews()
 }
 
 // jacobiEigen diagonalizes a symmetric matrix with cyclic Jacobi rotations,

@@ -1,5 +1,7 @@
 package mlkit
 
+import "lumen/internal/mlkit/linalg"
+
 // OneClassSVM implements Schölkopf's ν-one-class SVM trained by stochastic
 // sub-gradient descent on the primal:
 //
@@ -80,11 +82,15 @@ func (o *OneClassSVM) Fit(X [][]float64) error {
 }
 
 // Score returns ρ − ⟨w,x⟩ per row: positive means outside the learned
-// region (anomalous), higher is more anomalous.
+// region (anomalous), higher is more anomalous. Rows split across the
+// worker pool; each element is written by exactly one goroutine, so
+// results are bit-identical for any worker count.
 func (o *OneClassSVM) Score(X [][]float64) []float64 {
 	out := make([]float64, len(X))
-	for i, row := range X {
-		out[i] = o.rho - Dot(o.w, row)
-	}
+	linalg.ParallelRows(len(X), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = o.rho - linalg.Dot(o.w, X[i])
+		}
+	})
 	return out
 }

@@ -1,6 +1,10 @@
 package mlkit
 
-import "math"
+import (
+	"math"
+
+	"lumen/internal/mlkit/linalg"
+)
 
 // LinearSVM is a binary linear SVM trained with the Pegasos stochastic
 // sub-gradient algorithm on the hinge loss. Inputs should be scaled.
@@ -82,12 +86,16 @@ func (s *LinearSVM) Fit(X [][]float64, y []int) error {
 	return nil
 }
 
-// Decision returns the signed margin per row.
+// Decision returns the signed margin per row. Rows split across the
+// worker pool; each element is written by exactly one goroutine, so
+// results are bit-identical for any worker count.
 func (s *LinearSVM) Decision(X [][]float64) []float64 {
 	out := make([]float64, len(X))
-	for i, row := range X {
-		out[i] = Dot(s.w, row) + s.b
-	}
+	linalg.ParallelRows(len(X), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = linalg.Dot(s.w, X[i]) + s.b
+		}
+	})
 	return out
 }
 
