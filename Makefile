@@ -15,10 +15,15 @@ test:
 # which filters noisy-neighbour interference on shared machines).
 # Re-run on a baseline checkout with BENCH_LABEL=baseline to fill in the
 # before/after speedup table.
+# It then runs the batch-vs-streaming engine benchmarks (see
+# internal/core/stream_bench_test.go), whose peak-B custom metric — the
+# live-heap high-water mark of a test-mode run — lands in BENCH_PR4.json.
 BENCH_LABEL ?= current
 bench:
 	$(GO) test -bench=. -benchtime=300ms -count=3 -run='^$$' ./internal/mlkit/... \
 		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out BENCH_PR3.json
+	$(GO) test -bench=BenchmarkStream -benchtime=1x -count=3 -run='^$$' ./internal/core/ \
+		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out BENCH_PR4.json
 
 # bench-paper runs the paper table/figure reproduction benchmarks once each.
 bench-paper:
@@ -28,10 +33,10 @@ vet:
 	$(GO) vet ./...
 
 # race runs the concurrency-sensitive packages (engine/cache singleflight,
-# span tracer, benchsuite worker pool, and the mlkit/linalg row-parallel
-# kernels) under the race detector.
+# streaming engine, flow assemblers, span tracer, benchsuite worker pool,
+# and the mlkit/linalg row-parallel kernels) under the race detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/benchsuite/... ./internal/obs/... ./internal/mlkit/...
+	$(GO) test -race ./internal/core/... ./internal/flow/... ./internal/benchsuite/... ./internal/obs/... ./internal/mlkit/...
 
 # docs-lint enforces the documentation floor (see doclint_test.go):
 # package comments everywhere under internal/ and cmd/, doc comments on

@@ -21,11 +21,14 @@ import (
 	"strings"
 )
 
-// Bench is one parsed benchmark result line.
+// Bench is one parsed benchmark result line. Metrics holds any extra
+// `<value> <unit>` pairs the benchmark reported after ns/op (B/op,
+// allocs/op, custom b.ReportMetric units like peak-B), keyed by unit.
 type Bench struct {
-	Name       string  `json:"name"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Run is one labelled `go test -bench` invocation.
@@ -69,6 +72,19 @@ func parse(r *bufio.Scanner) (*Run, error) {
 			if err != nil {
 				continue
 			}
+			// Any further `<value> <unit>` pairs (B/op, allocs/op,
+			// b.ReportMetric extras) become Metrics entries.
+			var metrics map[string]float64
+			for i := 4; i+1 < len(fields); i += 2 {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					break
+				}
+				if metrics == nil {
+					metrics = map[string]float64{}
+				}
+				metrics[fields[i+1]] = v
+			}
 			// Strip the -N GOMAXPROCS suffix so labels are stable
 			// across machines (BenchmarkMLPFit-8 -> BenchmarkMLPFit).
 			name := fields[0]
@@ -86,13 +102,14 @@ func parse(r *bufio.Scanner) (*Run, error) {
 					if ns < run.Benchmarks[i].NsPerOp {
 						run.Benchmarks[i].NsPerOp = ns
 						run.Benchmarks[i].Iterations = iters
+						run.Benchmarks[i].Metrics = metrics
 					}
 					merged = true
 					break
 				}
 			}
 			if !merged {
-				run.Benchmarks = append(run.Benchmarks, Bench{Name: name, Iterations: iters, NsPerOp: ns})
+				run.Benchmarks = append(run.Benchmarks, Bench{Name: name, Iterations: iters, NsPerOp: ns, Metrics: metrics})
 			}
 		}
 	}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: lumen/internal/core
+cpu: test
+BenchmarkStreamBatch-8        1   5000000 ns/op   123456 peak-B   2048 B/op   17 allocs/op
+BenchmarkStreamChunk64-8      1   7000000 ns/op    45678 peak-B
+BenchmarkStreamChunk64-8      1   6000000 ns/op    44000 peak-B
+PASS
+ok  	lumen/internal/core	1.0s
+`
+
+func TestParseMetrics(t *testing.T) {
+	run, err := parse(bufio.NewScanner(strings.NewReader(sampleOutput)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Pkg != "lumen/internal/core" {
+		t.Errorf("pkg = %q", run.Pkg)
+	}
+	if len(run.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2 (best-of-N merge)", len(run.Benchmarks))
+	}
+	b := run.Benchmarks[0]
+	if b.Name != "BenchmarkStreamBatch" {
+		t.Errorf("name = %q (GOMAXPROCS suffix must be stripped)", b.Name)
+	}
+	if b.Metrics["peak-B"] != 123456 || b.Metrics["B/op"] != 2048 || b.Metrics["allocs/op"] != 17 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+	// Best-of-N keeps the faster run's metrics alongside its ns/op.
+	c := run.Benchmarks[1]
+	if c.NsPerOp != 6000000 {
+		t.Errorf("ns/op = %v, want best-of-N 6000000", c.NsPerOp)
+	}
+	if c.Metrics["peak-B"] != 44000 {
+		t.Errorf("metrics not taken from the fastest run: %v", c.Metrics)
+	}
+}
+
+func TestParseNoMetrics(t *testing.T) {
+	run, err := parse(bufio.NewScanner(strings.NewReader(
+		"BenchmarkX-4   10   100 ns/op\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Benchmarks[0].Metrics != nil {
+		t.Errorf("plain ns/op line should have nil metrics: %v", run.Benchmarks[0].Metrics)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(bufio.NewScanner(strings.NewReader("PASS\n"))); err == nil {
+		t.Error("no benchmark lines should be an error")
+	}
+}

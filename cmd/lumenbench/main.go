@@ -55,6 +55,8 @@ func main() {
 		workers     = flag.Int("workers", 0, "worker-pool size for suite runs (0 = GOMAXPROCS)")
 		noCache     = flag.Bool("nocache", false, "disable the shared intermediate-result cache")
 		cacheEnt    = flag.Int("cache-entries", 0, "bound the shared cache to N entries with LRU eviction (0 = unbounded)")
+		stream      = flag.Bool("stream", false, "execute pipelines with the chunked streaming engine instead of batch runs")
+		chunkRows   = flag.Int("chunk-rows", 0, "packets per streamed chunk with -stream (0 = whole trace in one chunk)")
 		profile     = flag.Bool("profile", false, "sample per-op allocations and print the aggregated per-op profile")
 		profileOut  = flag.String("profile-out", "", "write the aggregated per-op profile as JSON to this file")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON of the run to this file (open at ui.perfetto.dev)")
@@ -71,6 +73,8 @@ func main() {
 		NoCache:      *noCache,
 		CacheEntries: *cacheEnt,
 		Profile:      *profile,
+		Stream:       *stream,
+		ChunkRows:    *chunkRows,
 		AlgIDs:       splitIDs(*algs),
 		DatasetIDs:   splitIDs(*datasets),
 	}

@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"time"
@@ -39,7 +41,9 @@ func main() {
 	}
 }
 
-// runConnlog assembles connections and prints them as conn.log TSV.
+// runConnlog streams the capture through an incremental connection
+// assembler — holding per-connection state but never the packet list —
+// and prints the result as conn.log TSV.
 func runConnlog(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -50,14 +54,27 @@ func runConnlog(path string) error {
 	if err != nil {
 		return err
 	}
-	pkts, err := r.ReadAll()
-	if err != nil {
-		return err
+	asm := flow.NewConnAssembler(flow.Options{})
+	var conns []*flow.Connection
+	i := 0
+	for {
+		p, err := r.NextPacket()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		conns = append(conns, asm.Add(i, p)...)
+		i++
 	}
-	conns := flow.Connections(pkts, flow.Options{})
+	conns = append(conns, asm.Flush()...)
+	flow.SortConnections(conns)
 	return flow.WriteConnLog(os.Stdout, conns)
 }
 
+// run makes a single streaming pass over the capture, accumulating only
+// counters — memory stays constant however large the file is.
 func run(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -68,25 +85,23 @@ func run(path string) error {
 	if err != nil {
 		return err
 	}
-	pkts, err := r.ReadAll()
-	if err != nil {
-		return err
-	}
-	fmt.Printf("file:      %s\n", path)
-	fmt.Printf("link type: %d\n", r.LinkType())
-	fmt.Printf("packets:   %d\n", len(pkts))
-	if len(pkts) == 0 {
-		return nil
-	}
 	var first, last time.Time
-	var bytes int
+	var packets, bytes int
 	protos := map[string]int{}
 	talkers := map[string]int{}
-	for i, p := range pkts {
-		if i == 0 {
+	for {
+		p, err := r.NextPacket()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if packets == 0 {
 			first = p.Ts
 		}
 		last = p.Ts
+		packets++
 		bytes += p.WireLen()
 		protos[protoName(p)]++
 		if ip := p.SrcIP(); ip.IsValid() {
@@ -94,6 +109,12 @@ func run(path string) error {
 		} else if p.Dot11 != nil {
 			talkers[p.Dot11.Addr2.String()]++
 		}
+	}
+	fmt.Printf("file:      %s\n", path)
+	fmt.Printf("link type: %d\n", r.LinkType())
+	fmt.Printf("packets:   %d\n", packets)
+	if packets == 0 {
+		return nil
 	}
 	dur := last.Sub(first)
 	fmt.Printf("span:      %s (%s .. %s)\n", dur, first.Format(time.RFC3339), last.Format(time.RFC3339))

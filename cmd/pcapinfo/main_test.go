@@ -1,12 +1,15 @@
 package main
 
 import (
+	"io"
 	"net/netip"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
+	"lumen/internal/flow"
 	"lumen/internal/netpkt"
 	"lumen/internal/pcap"
 )
@@ -45,6 +48,91 @@ func TestRunOnGeneratedCapture(t *testing.T) {
 	}
 	if err := run(path); err != nil {
 		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestConnlogMatchesBatchAssembly: the streamed conn.log must be byte-
+// identical to assembling the whole capture at once.
+func TestConnlogMatchesBatchAssembly(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.pcap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := pcap.NewWriter(f, netpkt.LinkEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(sec int64, sport, dport uint16, flags uint8) *netpkt.Packet {
+		return &netpkt.Packet{
+			Ts:  time.Unix(sec, 0),
+			Eth: &netpkt.Ethernet{EtherType: netpkt.EtherTypeIPv4},
+			IPv4: &netpkt.IPv4{
+				TTL: 64, Protocol: netpkt.ProtoTCP,
+				Src: netip.AddrFrom4([4]byte{10, 0, 0, 1}),
+				Dst: netip.AddrFrom4([4]byte{10, 0, 0, 2}),
+			},
+			TCP: &netpkt.TCP{SrcPort: sport, DstPort: dport, Flags: flags},
+		}
+	}
+	// Two sessions on the same port pair separated by an idle gap, so the
+	// streamed path evicts the first one mid-capture.
+	pkts := []*netpkt.Packet{
+		mk(0, 1234, 80, netpkt.FlagSYN),
+		mk(1, 1234, 80, netpkt.FlagACK),
+		mk(500, 1234, 80, netpkt.FlagSYN),
+		mk(501, 1234, 80, netpkt.FlagACK),
+	}
+	for _, p := range pkts {
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var batch strings.Builder
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := pcap.NewReader(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := r.ReadAll()
+	rf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flow.WriteConnLog(&batch, flow.Connections(all, flow.Options{})); err != nil {
+		t.Fatal(err)
+	}
+
+	// Capture runConnlog's stdout.
+	old := os.Stdout
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = pw
+	errRun := runConnlog(path)
+	pw.Close()
+	os.Stdout = old
+	streamed, _ := io.ReadAll(pr)
+	if errRun != nil {
+		t.Fatal(errRun)
+	}
+	if string(streamed) != batch.String() {
+		t.Fatalf("streamed conn.log differs from batch:\n--- streamed ---\n%s--- batch ---\n%s", streamed, batch.String())
+	}
+	if !strings.Contains(batch.String(), "\n") || len(strings.Split(strings.TrimSpace(batch.String()), "\n")) < 3 {
+		t.Fatalf("expected 2 connections plus header in conn.log:\n%s", batch.String())
 	}
 }
 

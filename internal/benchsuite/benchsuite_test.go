@@ -3,6 +3,7 @@ package benchsuite
 import (
 	"math"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -418,5 +419,34 @@ func TestOpProfilesAggregate(t *testing.T) {
 		if profs[i].Wall > profs[i-1].Wall {
 			t.Errorf("profiles not sorted by wall time at %d", i)
 		}
+	}
+}
+
+func TestStreamedSuiteMatchesBatch(t *testing.T) {
+	batch := fastSuite(t, []string{"A13", "A14"}, []string{"F1"})
+	batch.RunSameDataset()
+	streamed, err := New(Config{
+		Scale: 0.3, Seed: 1, Stream: true, ChunkRows: 64,
+		AlgIDs:     []string{"A13", "A14"},
+		DatasetIDs: []string{"F1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed.RunSameDataset()
+	if len(batch.Store.Results) != len(streamed.Store.Results) {
+		t.Fatalf("result counts differ: batch %d, streamed %d",
+			len(batch.Store.Results), len(streamed.Store.Results))
+	}
+	for i, b := range batch.Store.Results {
+		s := streamed.Store.Results[i]
+		b.Wall, s.Wall = 0, 0 // timing is the only field allowed to differ
+		if !reflect.DeepEqual(b, s) {
+			t.Errorf("result %d differs:\nbatch:    %+v\nstreamed: %+v", i, b, s)
+		}
+	}
+	m := streamed.Store.Meta.Manifest
+	if m == nil || !m.Stream || m.ChunkRows != 64 {
+		t.Errorf("manifest does not record streaming config: %+v", m)
 	}
 }

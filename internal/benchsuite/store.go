@@ -65,6 +65,8 @@ type Manifest struct {
 	Cache        bool     `json:"cache"`
 	CacheEntries int      `json:"cache_entries,omitempty"`
 	Profile      bool     `json:"profile,omitempty"`
+	Stream       bool     `json:"stream,omitempty"`
+	ChunkRows    int      `json:"chunk_rows,omitempty"`
 	GoVersion    string   `json:"go_version"`
 	MaxProcs     int      `json:"max_procs"`
 }

@@ -44,6 +44,15 @@ type Config struct {
 	// (core.Engine.Profiling) and per-op profile aggregation across runs.
 	// Wall-clock per-op timing is collected regardless.
 	Profile bool
+	// Stream executes every run through the chunked streaming engine
+	// (core.Engine.TrainStream/TestStream) instead of batch runs. Results
+	// are bit-identical to batch; peak memory on the inference side scales
+	// with the chunk size instead of the trace size. Streamed runs bypass
+	// the shared intermediate-result cache.
+	Stream bool
+	// ChunkRows bounds the packets per streamed chunk when Stream is set
+	// (0 = whole trace in one chunk).
+	ChunkRows int
 	// Tracer, when non-nil, records a span tree for the whole suite: a
 	// root "suite" span, one batch span per RunSameDataset/RunCrossDataset
 	// call, one run span per (alg, train, test) on the executing worker's
@@ -170,6 +179,8 @@ func (s *Suite) manifest() *Manifest {
 		Cache:        !s.cfg.NoCache,
 		CacheEntries: s.cfg.CacheEntries,
 		Profile:      s.cfg.Profile,
+		Stream:       s.cfg.Stream,
+		ChunkRows:    s.cfg.ChunkRows,
 		GoVersion:    runtime.Version(),
 		MaxProcs:     runtime.GOMAXPROCS(0),
 	}
@@ -285,10 +296,16 @@ func (s *Suite) runOne(alg algorithms.Algorithm, trainID, testID string, trainDS
 		eng.SetCache(s.cache)
 	}
 	eng.Seed = s.cfg.Seed + int64(hash(alg.ID+trainID+testID))
+	streamCfg := core.StreamConfig{ChunkRows: s.cfg.ChunkRows}
 	if span != nil {
 		eng.Span = span.Child("train")
 	}
-	err := eng.Train(trainDS)
+	var err error
+	if s.cfg.Stream {
+		err = eng.TrainStream(trainDS, streamCfg)
+	} else {
+		err = eng.Train(trainDS)
+	}
 	eng.Span.End()
 	s.recordProfile(eng.Profile)
 	if err != nil {
@@ -298,7 +315,12 @@ func (s *Suite) runOne(alg algorithms.Algorithm, trainID, testID string, trainDS
 	if span != nil {
 		eng.Span = span.Child("test")
 	}
-	res, err := eng.Test(testDS)
+	var res *core.EvalResult
+	if s.cfg.Stream {
+		res, err = eng.TestStream(testDS, streamCfg)
+	} else {
+		res, err = eng.Test(testDS)
+	}
 	eng.Span.End()
 	s.recordProfile(eng.Profile)
 	if err != nil {

@@ -95,10 +95,50 @@ type opCtx struct {
 	span *obs.Span
 	// metrics is the engine's registry (nil when metrics are off).
 	metrics *obs.Metrics
+	// stream is set on chunked (RunStream) executions: it carries the
+	// chunk's global base index and per-op fold state across chunks.
+	// Nil on batch runs, so every accessor below is nil-safe.
+	stream *streamCtx
 }
 
 func (c *opCtx) setState(v any) { c.state[c.outName] = v }
 func (c *opCtx) getState() any  { return c.state[c.outName] }
+
+// streamCtx is the cross-chunk execution state of one RunStream pass:
+// the current chunk's base index into the full stream, and fold state
+// (keyed by op output name) that sequential packet ops — iat deltas,
+// Kitsune/802.11 damped statistics — carry from one chunk to the next so
+// chunked execution stays bit-identical to batch.
+type streamCtx struct {
+	base  int
+	carry map[string]any
+}
+
+// streamBase returns the global index of the current chunk's first
+// packet (0 on batch runs, so batch op behaviour is unchanged).
+func (c *opCtx) streamBase() int {
+	if c == nil || c.stream == nil {
+		return 0
+	}
+	return c.stream.base
+}
+
+// carry returns this op's cross-chunk fold state, if streaming.
+func (c *opCtx) carry() (any, bool) {
+	if c == nil || c.stream == nil {
+		return nil, false
+	}
+	v, ok := c.stream.carry[c.outName]
+	return v, ok
+}
+
+// setCarry saves this op's cross-chunk fold state; a no-op on batch runs.
+func (c *opCtx) setCarry(v any) {
+	if c == nil || c.stream == nil {
+		return
+	}
+	c.stream.carry[c.outName] = v
+}
 
 // Engine compiles and executes one pipeline. Train must run before Test;
 // the fitted state of stateful operations (scalers, filters, models) is
@@ -350,6 +390,22 @@ const heapAllocName = "/gc/heap/allocs:bytes"
 // is only exact when one engine runs at a time (see OpStats.Allocs).
 func heapAllocBytes() uint64 {
 	s := [1]metrics.Sample{{Name: heapAllocName}}
+	metrics.Read(s[:])
+	if s[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return s[0].Value.Uint64()
+}
+
+// heapLiveName is the live-heap gauge sampled at chunk boundaries on
+// streaming runs (lumen_stream_hwm_bytes). Like heapAllocName it avoids
+// the stop-the-world cost of runtime.ReadMemStats.
+const heapLiveName = "/memory/classes/heap/objects:bytes"
+
+// heapLiveBytes samples the bytes currently occupied by live (plus
+// not-yet-collected) heap objects, process-wide.
+func heapLiveBytes() uint64 {
+	s := [1]metrics.Sample{{Name: heapLiveName}}
 	metrics.Read(s[:])
 	if s[0].Value.Kind() != metrics.KindUint64 {
 		return 0

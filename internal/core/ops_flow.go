@@ -22,25 +22,37 @@ func init() {
 		opSig{in: []Kind{KindFlows}, out: KindFrame}, opFlowFeatures)
 }
 
+// flowParams decodes flow_assemble's parameters; shared between the
+// batch op and the streaming flow sink so both split flows identically.
+func flowParams(p params) (flow.Options, dataset.Granularity, error) {
+	opts := flow.Options{}
+	if to := p.f64("idle_timeout", 0); to > 0 {
+		opts.IdleTimeout = time.Duration(to * float64(time.Second))
+	}
+	switch g := p.str("granularity", "connection"); g {
+	case "uniflow":
+		return opts, dataset.UniflowG, nil
+	case "connection":
+		return opts, dataset.ConnectionG, nil
+	default:
+		return opts, 0, fmt.Errorf("flow_assemble: unknown granularity %q", g)
+	}
+}
+
 func opFlowAssemble(_ *opCtx, in []Value, p params) (Value, error) {
 	pk, err := asPackets(in[0])
 	if err != nil {
 		return nil, err
 	}
-	opts := flow.Options{}
-	if to := p.f64("idle_timeout", 0); to > 0 {
-		opts.IdleTimeout = time.Duration(to * float64(time.Second))
+	opts, gran, err := flowParams(p)
+	if err != nil {
+		return nil, err
 	}
-	out := &Flows{DS: pk.DS}
-	switch g := p.str("granularity", "connection"); g {
-	case "uniflow":
-		out.Granularity = dataset.UniflowG
+	out := &Flows{DS: pk.DS, Granularity: gran}
+	if gran == dataset.UniflowG {
 		out.Unis = flow.Uniflows(pk.DS.Packets, opts)
-	case "connection":
-		out.Granularity = dataset.ConnectionG
+	} else {
 		out.Conns = flow.Connections(pk.DS.Packets, opts)
-	default:
-		return nil, fmt.Errorf("flow_assemble: unknown granularity %q", g)
 	}
 	return out, nil
 }

@@ -40,7 +40,14 @@ var packetFields = []string{
 // template validation).
 func PacketFields() []string { return append([]string(nil), packetFields...) }
 
-func opFieldExtract(_ *opCtx, in []Value, p params) (Value, error) {
+// feCarry is field_extract's cross-chunk fold state: the previous
+// packet's timestamp, so iat stays exact across a chunk boundary.
+type feCarry struct {
+	prevTs float64
+	seen   bool
+}
+
+func opFieldExtract(ctx *opCtx, in []Value, p params) (Value, error) {
 	pk, err := asPackets(in[0])
 	if err != nil {
 		return nil, err
@@ -60,7 +67,7 @@ func opFieldExtract(_ *opCtx, in []Value, p params) (Value, error) {
 	}
 	ds := pk.DS
 	n := len(ds.Packets)
-	fr := newPacketFrame(ds)
+	fr := newPacketFrame(ds, ctx.streamBase())
 
 	numeric := map[string][]float64{}
 	strs := map[string][]string{}
@@ -72,7 +79,11 @@ func opFieldExtract(_ *opCtx, in []Value, p params) (Value, error) {
 			numeric[f] = make([]float64, n)
 		}
 	}
-	var prevTs float64
+	var car feCarry
+	if v, ok := ctx.carry(); ok {
+		car, _ = v.(feCarry)
+	}
+	prevTs, seen := car.prevTs, car.seen
 	for i, pkt := range ds.Packets {
 		t := float64(pkt.Ts.UnixNano()) / 1e9
 		for f := range numeric {
@@ -81,7 +92,7 @@ func opFieldExtract(_ *opCtx, in []Value, p params) (Value, error) {
 			case "ts":
 				v = t
 			case "iat":
-				if i > 0 {
+				if seen {
 					v = t - prevTs
 				}
 			case "len":
@@ -219,8 +230,9 @@ func opFieldExtract(_ *opCtx, in []Value, p params) (Value, error) {
 			}
 			strs[f][i] = v
 		}
-		prevTs = t
+		prevTs, seen = t, true
 	}
+	ctx.setCarry(feCarry{prevTs: prevTs, seen: seen})
 	// Preserve the requested order.
 	for _, f := range fields {
 		if col, ok := numeric[f]; ok {
@@ -247,21 +259,22 @@ func b2f(b bool) float64 {
 }
 
 // newPacketFrame builds an empty frame with packet-unit metadata and
-// labels copied from the dataset.
-func newPacketFrame(ds *dataset.Labeled) *Frame {
+// labels copied from the dataset. base offsets UnitIdx so chunked runs
+// attribute rows to global packet indices (0 on batch runs).
+func newPacketFrame(ds *dataset.Labeled, base int) *Frame {
 	n := len(ds.Packets)
 	fr := NewFrame(n)
 	fr.Unit = UnitPacket
 	fr.UnitIdx = make([]int, n)
 	for i := range fr.UnitIdx {
-		fr.UnitIdx[i] = i
+		fr.UnitIdx[i] = base + i
 	}
 	fr.Labels = append([]int(nil), ds.Labels...)
 	fr.Attacks = append([]string(nil), ds.Attacks...)
 	return fr
 }
 
-func opNPrint(_ *opCtx, in []Value, p params) (Value, error) {
+func opNPrint(ctx *opCtx, in []Value, p params) (Value, error) {
 	pk, err := asPackets(in[0])
 	if err != nil {
 		return nil, err
@@ -281,7 +294,7 @@ func opNPrint(_ *opCtx, in []Value, p params) (Value, error) {
 		return nil, fmt.Errorf("nprint: unknown variant %q", variant)
 	}
 	ds := pk.DS
-	fr := newPacketFrame(ds)
+	fr := newPacketFrame(ds, ctx.streamBase())
 	w := cfg.Width()
 	cols := make([][]float64, w)
 	for j := range cols {
@@ -299,9 +312,25 @@ func opNPrint(_ *opCtx, in []Value, p params) (Value, error) {
 	return fr, nil
 }
 
+// kitsuneStreams bundles the damped statistics of one grouping key.
+type kitsuneStreams struct {
+	src, chanl, sock *features.IncStat
+	jitter           *features.IncStat
+	two              *features.IncStat2D
+}
+
+// kitsuneCarry is the op's cross-chunk fold state: every incremental
+// statistic is keyed by grouping and decay rate, and damped stats are
+// strictly sequential, so chunked execution must resume from the same
+// maps batch execution would have at that packet.
+type kitsuneCarry struct {
+	perLambda []map[string]*kitsuneStreams
+	lastSeen  []map[string]float64
+}
+
 // kitsune groupings: per-source stream, per-channel (src->dst) stream and
 // per-socket (five-tuple) stream, each at several decay rates.
-func opKitsuneFeatures(_ *opCtx, in []Value, p params) (Value, error) {
+func opKitsuneFeatures(ctx *opCtx, in []Value, p params) (Value, error) {
 	pk, err := asPackets(in[0])
 	if err != nil {
 		return nil, err
@@ -316,23 +345,26 @@ func opKitsuneFeatures(_ *opCtx, in []Value, p params) (Value, error) {
 		}
 	}
 	ds := pk.DS
-	fr := newPacketFrame(ds)
-	type streams struct {
-		src, chanl, sock *features.IncStat
-		jitter           *features.IncStat
-		two              *features.IncStat2D
-	}
+	fr := newPacketFrame(ds, ctx.streamBase())
 	nFeat := len(lambdas) * 13
 	cols := make([][]float64, nFeat)
 	for j := range cols {
 		cols[j] = make([]float64, fr.N)
 	}
-	perLambda := make([]map[string]*streams, len(lambdas))
-	lastSeen := make([]map[string]float64, len(lambdas))
-	for li := range lambdas {
-		perLambda[li] = map[string]*streams{}
-		lastSeen[li] = map[string]float64{}
+	prev, _ := ctx.carry()
+	car, ok := prev.(*kitsuneCarry)
+	if !ok {
+		car = &kitsuneCarry{
+			perLambda: make([]map[string]*kitsuneStreams, len(lambdas)),
+			lastSeen:  make([]map[string]float64, len(lambdas)),
+		}
+		for li := range lambdas {
+			car.perLambda[li] = map[string]*kitsuneStreams{}
+			car.lastSeen[li] = map[string]float64{}
+		}
+		ctx.setCarry(car)
 	}
+	perLambda, lastSeen := car.perLambda, car.lastSeen
 	for i, pkt := range ds.Packets {
 		t := float64(pkt.Ts.UnixNano()) / 1e9
 		size := float64(pkt.WireLen())
@@ -340,7 +372,7 @@ func opKitsuneFeatures(_ *opCtx, in []Value, p params) (Value, error) {
 		for li, lam := range lambdas {
 			st := perLambda[li][srcKey]
 			if st == nil {
-				st = &streams{
+				st = &kitsuneStreams{
 					src:    features.NewIncStat(lam),
 					chanl:  features.NewIncStat(lam),
 					sock:   features.NewIncStat(lam),
@@ -359,14 +391,14 @@ func opKitsuneFeatures(_ *opCtx, in []Value, p params) (Value, error) {
 			// by their own keys; reuse the map with prefixed keys.
 			cst := perLambda[li]["c|"+chanKey]
 			if cst == nil {
-				cst = &streams{src: features.NewIncStat(lam), two: features.NewIncStat2D(lam)}
+				cst = &kitsuneStreams{src: features.NewIncStat(lam), two: features.NewIncStat2D(lam)}
 				perLambda[li]["c|"+chanKey] = cst
 			}
 			cst.src.Insert(size, t)
 			cst.two.Insert(size, float64(len(pkt.Payload)), t)
 			sst := perLambda[li]["s|"+sockKey]
 			if sst == nil {
-				sst = &streams{src: features.NewIncStat(lam)}
+				sst = &kitsuneStreams{src: features.NewIncStat(lam)}
 				perLambda[li]["s|"+sockKey] = sst
 			}
 			sst.src.Insert(size, t)
@@ -422,13 +454,20 @@ func kitsuneKeys(p *netpkt.Packet) (src, channel, socket string) {
 	return "?", "?", "?"
 }
 
-func opDot11Features(_ *opCtx, in []Value, p params) (Value, error) {
+// dot11Carry keeps the per-transmitter damped rate trackers alive
+// across chunks so streamed execution matches batch execution.
+type dot11Carry struct {
+	perTx       map[string]*features.IncStat
+	perTxDeauth map[string]*features.IncStat
+}
+
+func opDot11Features(ctx *opCtx, in []Value, p params) (Value, error) {
 	pk, err := asPackets(in[0])
 	if err != nil {
 		return nil, err
 	}
 	ds := pk.DS
-	fr := newPacketFrame(ds)
+	fr := newPacketFrame(ds, ctx.streamBase())
 	n := fr.N
 	lam := p.f64("lambda", 0.5)
 	subtype := make([]float64, n)
@@ -438,8 +477,13 @@ func opDot11Features(_ *opCtx, in []Value, p params) (Value, error) {
 	rate := make([]float64, n)
 	deauthRate := make([]float64, n)
 	plen := make([]float64, n)
-	perTx := map[string]*features.IncStat{}
-	perTxDeauth := map[string]*features.IncStat{}
+	prev, _ := ctx.carry()
+	car, ok := prev.(*dot11Carry)
+	if !ok {
+		car = &dot11Carry{perTx: map[string]*features.IncStat{}, perTxDeauth: map[string]*features.IncStat{}}
+		ctx.setCarry(car)
+	}
+	perTx, perTxDeauth := car.perTx, car.perTxDeauth
 	for i, pkt := range ds.Packets {
 		d := pkt.Dot11
 		if d == nil {

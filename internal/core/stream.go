@@ -1,0 +1,536 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"lumen/internal/dataset"
+	"lumen/internal/flow"
+	"lumen/internal/obs"
+)
+
+// StreamConfig bounds the chunks a RunStream pass pulls from its source.
+// Zero values mean unbounded: with both bounds zero the whole trace
+// arrives as one chunk and streaming degenerates to batch execution.
+type StreamConfig struct {
+	// ChunkRows caps the packets per chunk (0 = no row bound).
+	ChunkRows int
+	// ChunkBytes caps the wire bytes per chunk (0 = no byte bound).
+	ChunkBytes int
+}
+
+// streamableAlways lists ops that are row-local in both modes: each output
+// row depends only on its input row (plus, for the packet feature ops,
+// fold state that opCtx.carry threads across chunks), so running them
+// chunk-by-chunk is bit-identical to batch.
+var streamableAlways = map[string]bool{
+	"field_extract": true, "nprint": true, "kitsune_features": true,
+	"dot11_features": true, "select": true, "filter": true,
+	"concat_cols": true, "derive": true, "log_scale": true, "model": true,
+}
+
+// streamableTest lists ops that fit global state in ModeTrain (a barrier)
+// but apply it row-locally in ModeTest, where they stream. balance is a
+// test-mode pass-through; train predicts per row with the fitted model.
+var streamableTest = map[string]bool{
+	"normalize": true, "clip": true, "pca_transform": true, "onehot": true,
+	"drop_const": true, "drop_correlated": true, "balance": true, "train": true,
+}
+
+// streamable reports whether fn can run per chunk in the given mode.
+// Unknown ops default to barrier: correctness over memory.
+func streamable(fn string, mode Mode) bool {
+	if streamableAlways[fn] {
+		return true
+	}
+	return mode == ModeTest && streamableTest[fn]
+}
+
+// streamPlan is the static split of a pipeline into its streamed prefix
+// and deferred (barrier) suffix, computed before any packet is read.
+type streamPlan struct {
+	// streamed[i]: op i runs once per chunk.
+	streamed []bool
+	// flowSink[i]: op i is a flow_assemble fed packet-by-packet during the
+	// chunk loop; its Flows output materializes at flush.
+	flowSink []bool
+	// accum holds the names of streamed frame outputs that some deferred
+	// op reads: their per-chunk frames are retained and concatenated at
+	// flush. Streamed values consumed only by streamed ops are never kept.
+	accum map[string]bool
+	// needPackets: some deferred op (or flow sink) reads the full packet
+	// set at flush, so it must be available as one dataset.
+	needPackets bool
+}
+
+// planStream classifies every op: an op streams iff its class allows it
+// and every input is itself streamed (a value produced behind a barrier
+// only exists at flush).
+func (e *Engine) planStream(mode Mode) *streamPlan {
+	pl := &streamPlan{
+		streamed: make([]bool, len(e.P.Ops)),
+		flowSink: make([]bool, len(e.P.Ops)),
+		accum:    map[string]bool{},
+	}
+	streamedVal := map[string]bool{InputName: true}
+	for i, op := range e.P.Ops {
+		allStreamed := true
+		for _, in := range op.Input {
+			if !streamedVal[in] {
+				allStreamed = false
+			}
+		}
+		if op.Func == "flow_assemble" && allStreamed {
+			pl.flowSink[i] = true
+			pl.needPackets = true // Flows retain the full dataset for labels
+			continue
+		}
+		if allStreamed && streamable(op.Func, mode) {
+			pl.streamed[i] = true
+			streamedVal[op.Output] = true
+		}
+	}
+	// Deferred ops pull their streamed inputs from the accumulator.
+	for i, op := range e.P.Ops {
+		if pl.streamed[i] || pl.flowSink[i] {
+			continue
+		}
+		for _, in := range op.Input {
+			if in == InputName {
+				pl.needPackets = true
+			} else if streamedVal[in] {
+				pl.accum[in] = true
+			}
+		}
+	}
+	return pl
+}
+
+// flowSinkState is one flow_assemble op being fed incrementally: the
+// assembler plus every flow completed so far (evicted mid-stream once
+// idle, exactly as the batch path would have split them).
+type flowSinkState struct {
+	gran dataset.Granularity
+	uni  *flow.UniflowAssembler
+	conn *flow.ConnAssembler
+	unis []*flow.Uniflow
+	cons []*flow.Connection
+}
+
+// labeledSource is implemented by sources backed by a materialized
+// dataset (SliceSource, GenSource); RunStream uses it to satisfy barrier
+// ops without re-accumulating every chunk.
+type labeledSource interface {
+	Labeled() *dataset.Labeled
+}
+
+// RunStream executes the pipeline over a chunked packet source in
+// bounded memory. Ops that are row-local in the given mode run once per
+// chunk; barrier ops (global aggregation, fitting) are deferred to a
+// flush pass over the accumulated intermediate frames, where they run
+// with exact batch semantics — the result is bit-identical to run() on
+// the materialized dataset, at every chunk size.
+//
+// Memory: peak state is one chunk plus whatever the plan must retain —
+// accumulated feature frames for deferred ops, and the full packet set
+// when a barrier op (or flow assembly, whose output carries packet
+// labels) needs it. A fully streamed test pass holds O(chunk). Sources
+// backed by a materialized dataset satisfy the full-packet case
+// zero-copy; for PcapSource the packets are accumulated, making
+// barrier-bound pipelines O(trace) there.
+//
+// RunStream bypasses the shared Cache: chunk results are keyed by
+// stream position and fold state, which the content-addressed cache
+// cannot express.
+func (e *Engine) RunStream(src dataset.Source, mode Mode, cfg StreamConfig) (*EvalResult, error) {
+	if err := e.Check(); err != nil {
+		return nil, err
+	}
+	pl := e.planStream(mode)
+	meta := src.Meta()
+	sc := &streamCtx{carry: map[string]any{}}
+
+	sinks := map[int]*flowSinkState{}
+	for i, op := range e.P.Ops {
+		if !pl.flowSink[i] {
+			continue
+		}
+		opts, gran, err := flowParams(params(op.Params))
+		if err != nil {
+			return nil, fmt.Errorf("core: op %d (%s -> %s): %w", i, op.Func, op.Output, err)
+		}
+		s := &flowSinkState{gran: gran}
+		if gran == dataset.UniflowG {
+			s.uni = flow.NewUniflowAssembler(opts)
+		} else {
+			s.conn = flow.NewConnAssembler(opts)
+		}
+		sinks[i] = s
+	}
+
+	prof := make([]OpStats, len(e.P.Ops))
+	for i, op := range e.P.Ops {
+		prof[i] = OpStats{Func: op.Func, Output: op.Output}
+	}
+
+	accum := map[string][]*Frame{}
+	lastVal := map[string]Value{}
+	var results []*EvalResult
+	var hwm uint64
+
+	// full-packet accumulation, only when the plan needs it and the
+	// source cannot hand over a materialized dataset.
+	var accDS *dataset.Labeled
+	lsrc, hasLabeled := src.(labeledSource)
+	if pl.needPackets && !hasLabeled {
+		accDS = &dataset.Labeled{
+			Name:        meta.Name,
+			Granularity: meta.Granularity,
+			Link:        meta.Link,
+			Devices:     meta.Devices,
+		}
+	}
+
+	var nChunks int
+	for {
+		ck, ok := src.Next(cfg.ChunkRows, cfg.ChunkBytes)
+		if !ok {
+			break
+		}
+		nChunks++
+		var chunkSpan *obs.Span
+		if e.Span != nil {
+			chunkSpan = e.Span.Child("chunk")
+			chunkSpan.Set("base", ck.Base)
+			chunkSpan.Set("rows", len(ck.Packets))
+		}
+		cds := &dataset.Labeled{
+			Name:        meta.Name,
+			Granularity: meta.Granularity,
+			Link:        meta.Link,
+			Devices:     meta.Devices,
+			Packets:     ck.Packets,
+			Labels:      ck.Labels,
+			Attacks:     ck.Attacks,
+		}
+		if accDS != nil {
+			accDS.Packets = append(accDS.Packets, ck.Packets...)
+			if ck.Labels != nil {
+				accDS.Labels = append(accDS.Labels, ck.Labels...)
+			}
+			if ck.Attacks != nil {
+				accDS.Attacks = append(accDS.Attacks, ck.Attacks...)
+			}
+		}
+		sc.base = ck.Base
+		env := map[string]Value{InputName: Packets{DS: cds}}
+		for i, op := range e.P.Ops {
+			if s, ok := sinks[i]; ok {
+				for j, p := range ck.Packets {
+					if s.uni != nil {
+						s.unis = append(s.unis, s.uni.Add(ck.Base+j, p)...)
+					} else {
+						s.cons = append(s.cons, s.conn.Add(ck.Base+j, p)...)
+					}
+				}
+				continue
+			}
+			if !pl.streamed[i] {
+				continue
+			}
+			in := make([]Value, len(op.Input))
+			for j, name := range op.Input {
+				v, ok := env[name]
+				if !ok {
+					return nil, fmt.Errorf("core: op %d (%s): value %q was freed or never set", i, op.Func, name)
+				}
+				in[j] = v
+			}
+			ctx := &opCtx{mode: mode, outName: op.Output, state: e.state, seed: e.Seed, metrics: e.Metrics, stream: sc}
+			if chunkSpan != nil {
+				ctx.span = chunkSpan.Child("op:" + op.Func)
+				ctx.span.Set("output", op.Output)
+			}
+			st := OpStats{Func: op.Func, Output: op.Output}
+			start := time.Now()
+			out, err := e.runOp(opRegistry[op.Func], ctx, op, in, &st)
+			st.Wall = time.Since(start)
+			if err == nil {
+				st.OutRows = outRows(out)
+			}
+			e.finishOp(ctx.span, &st, err)
+			if err != nil {
+				return nil, fmt.Errorf("core: op %d (%s -> %s): %w", i, op.Func, op.Output, err)
+			}
+			prof[i].Wall += st.Wall
+			prof[i].Allocs += st.Allocs
+			prof[i].OutRows += st.OutRows
+			env[op.Output] = out
+			if ctx.result != nil {
+				results = append(results, ctx.result)
+			}
+			if pl.accum[op.Output] {
+				if fr, ok := out.(*Frame); ok {
+					accum[op.Output] = append(accum[op.Output], fr)
+				} else {
+					lastVal[op.Output] = out
+				}
+			}
+		}
+		if live := heapLiveBytes(); live > hwm {
+			hwm = live
+		}
+		if chunkSpan != nil {
+			chunkSpan.End()
+		}
+		if e.Metrics != nil {
+			e.Metrics.Counter("lumen_chunks_total",
+				"Chunks pulled from packet sources by streaming runs.").Inc()
+		}
+	}
+	if e.Metrics != nil {
+		e.Metrics.Gauge("lumen_stream_hwm_bytes",
+			"Live-heap high-water mark observed at chunk boundaries of the most recent streaming run.").Set(float64(hwm))
+	}
+	if errSrc, ok := src.(interface{ Err() error }); ok {
+		if err := errSrc.Err(); err != nil {
+			return nil, fmt.Errorf("core: packet source: %w", err)
+		}
+	}
+
+	var fullDS *dataset.Labeled
+	if pl.needPackets {
+		if hasLabeled {
+			fullDS = lsrc.Labeled()
+		} else {
+			fullDS = accDS
+		}
+	}
+
+	// Flush: run deferred ops in op order with batch semantics over the
+	// concatenated accumulations.
+	fenv := map[string]Value{}
+	concatenated := map[string]*Frame{}
+	resolve := func(name string) (Value, error) {
+		if v, ok := fenv[name]; ok {
+			return v, nil
+		}
+		if fr, ok := concatenated[name]; ok {
+			return fr, nil
+		}
+		if parts, ok := accum[name]; ok {
+			fr, err := concatFrames(parts)
+			if err != nil {
+				return nil, err
+			}
+			concatenated[name] = fr
+			return fr, nil
+		}
+		if v, ok := lastVal[name]; ok {
+			return v, nil
+		}
+		if name == InputName {
+			return Packets{DS: fullDS}, nil
+		}
+		return nil, fmt.Errorf("value %q was freed or never set", name)
+	}
+	for i, op := range e.P.Ops {
+		if pl.streamed[i] {
+			continue
+		}
+		st := OpStats{Func: op.Func, Output: op.Output}
+		start := time.Now()
+		if s, ok := sinks[i]; ok {
+			out := &Flows{DS: fullDS, Granularity: s.gran}
+			if s.uni != nil {
+				out.Unis = append(s.unis, s.uni.Flush()...)
+				flow.SortUniflows(out.Unis)
+			} else {
+				out.Conns = append(s.cons, s.conn.Flush()...)
+				flow.SortConnections(out.Conns)
+			}
+			fenv[op.Output] = out
+			prof[i].Wall += time.Since(start)
+			continue
+		}
+		in := make([]Value, len(op.Input))
+		for j, name := range op.Input {
+			v, err := resolve(name)
+			if err != nil {
+				return nil, fmt.Errorf("core: op %d (%s): %w", i, op.Func, err)
+			}
+			in[j] = v
+		}
+		ctx := &opCtx{mode: mode, outName: op.Output, state: e.state, seed: e.Seed, metrics: e.Metrics}
+		if e.Span != nil {
+			ctx.span = e.Span.Child("op:" + op.Func)
+			ctx.span.Set("output", op.Output)
+		}
+		out, err := e.runOp(opRegistry[op.Func], ctx, op, in, &st)
+		st.Wall = time.Since(start)
+		if err == nil {
+			st.OutRows = outRows(out)
+		}
+		e.finishOp(ctx.span, &st, err)
+		if err != nil {
+			return nil, fmt.Errorf("core: op %d (%s -> %s): %w", i, op.Func, op.Output, err)
+		}
+		fenv[op.Output] = out
+		prof[i].Wall, prof[i].Allocs, prof[i].OutRows = st.Wall, st.Allocs, st.OutRows
+		if ctx.result != nil {
+			results = append(results, ctx.result)
+		}
+	}
+	e.Profile = append(e.Profile[:0], prof...)
+	if mode == ModeTrain {
+		e.trained = true
+	}
+	return mergeResults(results), nil
+}
+
+// TrainStream fits the pipeline by streaming the dataset in bounded
+// chunks; equivalent to Train (identical fitted state) at any chunk size.
+func (e *Engine) TrainStream(ds *dataset.Labeled, cfg StreamConfig) error {
+	_, err := e.RunStream(dataset.NewSliceSource(ds), ModeTrain, cfg)
+	return err
+}
+
+// TestStream runs the fitted pipeline over the dataset chunk-by-chunk and
+// returns predictions identical to Test. On fully streamable pipelines
+// the model scores each chunk as it arrives, so peak memory tracks the
+// chunk size, not the trace size.
+func (e *Engine) TestStream(ds *dataset.Labeled, cfg StreamConfig) (*EvalResult, error) {
+	if !e.trained {
+		return nil, fmt.Errorf("core: Test before Train on pipeline %q", e.P.Name)
+	}
+	res, err := e.RunStream(dataset.NewSliceSource(ds), ModeTest, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("core: pipeline %q produced no predictions", e.P.Name)
+	}
+	return res, nil
+}
+
+// mergeResults stitches per-chunk evaluation results back into one, in
+// chunk order. A single part is returned untouched so whole-trace
+// streaming matches batch exactly (including nil-ness of empty fields);
+// empty chunks contribute empty slices and vanish in the append.
+func mergeResults(parts []*EvalResult) *EvalResult {
+	switch len(parts) {
+	case 0:
+		return nil
+	case 1:
+		return parts[0]
+	}
+	out := &EvalResult{Unit: parts[0].Unit}
+	for _, p := range parts {
+		out.Pred = append(out.Pred, p.Pred...)
+		out.Truth = append(out.Truth, p.Truth...)
+		out.Attacks = append(out.Attacks, p.Attacks...)
+		out.Scores = append(out.Scores, p.Scores...)
+		out.UnitIdx = append(out.UnitIdx, p.UnitIdx...)
+	}
+	return out
+}
+
+// concatFrames concatenates per-chunk frames into one batch-shaped frame.
+// A single part is returned as-is (it already has batch shape). Metadata
+// slices are present in the result if any part carries them; parts that
+// lack them are zero-filled to keep rows aligned. Column schema must
+// match across parts — streamed ops are deterministic per chunk, so a
+// mismatch is a bug, not data.
+func concatFrames(parts []*Frame) (*Frame, error) {
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	n := 0
+	hasIdx, hasLabels, hasAttacks := false, false, false
+	for _, p := range parts {
+		n += p.N
+		hasIdx = hasIdx || p.UnitIdx != nil
+		hasLabels = hasLabels || p.Labels != nil
+		hasAttacks = hasAttacks || p.Attacks != nil
+	}
+	out := NewFrame(n)
+	out.Unit = parts[0].Unit
+	if hasIdx {
+		out.UnitIdx = make([]int, 0, n)
+	}
+	if hasLabels {
+		out.Labels = make([]int, 0, n)
+	}
+	if hasAttacks {
+		out.Attacks = make([]string, 0, n)
+	}
+	for _, p := range parts {
+		if hasIdx {
+			out.UnitIdx = append(out.UnitIdx, padInts(p.UnitIdx, p.N)...)
+		}
+		if hasLabels {
+			out.Labels = append(out.Labels, padInts(p.Labels, p.N)...)
+		}
+		if hasAttacks {
+			out.Attacks = append(out.Attacks, padStrings(p.Attacks, p.N)...)
+		}
+	}
+	first := parts[0]
+	for ci := range first.Cols {
+		c := &first.Cols[ci]
+		if c.IsNumeric() {
+			vals := make([]float64, 0, n)
+			for _, p := range parts {
+				pc, err := sameCol(p, ci, c.Name, true)
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, pc.F...)
+			}
+			out.AddF(c.Name, vals)
+		} else {
+			vals := make([]string, 0, n)
+			for _, p := range parts {
+				pc, err := sameCol(p, ci, c.Name, false)
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, pc.S...)
+			}
+			out.AddS(c.Name, vals)
+		}
+	}
+	for _, p := range parts {
+		if len(p.Cols) != len(first.Cols) {
+			return nil, fmt.Errorf("core: inconsistent chunk schemas: %d vs %d columns", len(p.Cols), len(first.Cols))
+		}
+	}
+	return out, nil
+}
+
+// sameCol fetches column ci of p, validating it matches the schema of
+// the first chunk (name and numeric/categorical type).
+func sameCol(p *Frame, ci int, name string, numeric bool) (*Column, error) {
+	if ci >= len(p.Cols) {
+		return nil, fmt.Errorf("core: inconsistent chunk schemas: missing column %q", name)
+	}
+	c := &p.Cols[ci]
+	if c.Name != name || c.IsNumeric() != numeric {
+		return nil, fmt.Errorf("core: inconsistent chunk schemas: column %d is %q, want %q", ci, c.Name, name)
+	}
+	return c, nil
+}
+
+func padInts(s []int, n int) []int {
+	if s == nil && n > 0 {
+		return make([]int, n)
+	}
+	return s
+}
+
+func padStrings(s []string, n int) []string {
+	if s == nil && n > 0 {
+		return make([]string, n)
+	}
+	return s
+}

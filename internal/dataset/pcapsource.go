@@ -1,0 +1,91 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"lumen/internal/pcap"
+)
+
+// PcapSource streams a pcap capture as chunks without ever decoding the
+// whole file — the genuinely bounded-memory ingestion path: peak memory
+// is one chunk of decoded packets, independent of capture size. Packets
+// carry zero labels (live captures have no ground truth).
+type PcapSource struct {
+	name string
+	rs   io.ReadSeeker
+	r    *pcap.Reader
+	gran Granularity
+	base int
+	// emitted tracks the at-least-one-chunk contract for empty captures.
+	emitted bool
+	done    bool
+	err     error
+}
+
+// NewPcapSource opens a capture for chunked streaming. rs must be
+// positioned at the pcap global header; it is retained for Reset.
+func NewPcapSource(name string, rs io.ReadSeeker, gran Granularity) (*PcapSource, error) {
+	r, err := pcap.NewReader(rs)
+	if err != nil {
+		return nil, err
+	}
+	return &PcapSource{name: name, rs: rs, r: r, gran: gran}, nil
+}
+
+// Meta implements Source.
+func (p *PcapSource) Meta() SourceMeta {
+	return SourceMeta{Name: p.name, Granularity: p.gran, Link: p.r.LinkType()}
+}
+
+// Next implements Source. Read errors end the stream; check Err after
+// the final chunk.
+func (p *PcapSource) Next(maxRows, maxBytes int) (Chunk, bool) {
+	if p.done {
+		return Chunk{}, false
+	}
+	pkts, err := p.r.ReadChunk(maxRows, maxBytes)
+	if errors.Is(err, io.EOF) {
+		p.done = true
+		if p.emitted {
+			return Chunk{}, false
+		}
+		p.emitted = true
+		return Chunk{}, true
+	}
+	if err != nil {
+		p.done = true
+		p.err = err
+		if len(pkts) == 0 {
+			return Chunk{}, false
+		}
+	}
+	c := Chunk{
+		Base:    p.base,
+		Packets: pkts,
+		Labels:  make([]int, len(pkts)),
+		Attacks: make([]string, len(pkts)),
+	}
+	p.base += len(pkts)
+	p.emitted = true
+	return c, true
+}
+
+// Err reports the read error that ended the stream, if any.
+func (p *PcapSource) Err() error { return p.err }
+
+// Reset implements Source: it seeks back to the capture start and
+// re-parses the global header.
+func (p *PcapSource) Reset() error {
+	if _, err := p.rs.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("dataset: rewinding pcap source: %w", err)
+	}
+	r, err := pcap.NewReader(p.rs)
+	if err != nil {
+		return err
+	}
+	p.r = r
+	p.base, p.emitted, p.done, p.err = 0, false, false, nil
+	return nil
+}

@@ -1,0 +1,155 @@
+package dataset
+
+import "lumen/internal/netpkt"
+
+// Chunk is one bounded window of a packet stream: a contiguous run of
+// time-ordered packets with their labels, plus the global index of the
+// first packet so downstream consumers can keep dataset-wide packet
+// indices (flow assembly, unit attribution) while only ever seeing one
+// chunk at a time.
+type Chunk struct {
+	// Base is the global index of Packets[0] in the full stream.
+	Base    int
+	Packets []*netpkt.Packet
+	// Labels and Attacks align with Packets; nil when the source carries
+	// no ground truth (live captures).
+	Labels  []int
+	Attacks []string
+}
+
+// SourceMeta describes a packet source without materializing it.
+type SourceMeta struct {
+	Name        string
+	Granularity Granularity
+	Link        netpkt.LinkType
+	// Devices maps local endpoints to device kinds when known.
+	Devices map[string]string
+}
+
+// Source is a chunked packet stream — the bounded-memory counterpart of
+// handing a whole *Labeled to the engine. Implementations must emit
+// packets in non-decreasing time order and yield at least one chunk per
+// pass even when the stream holds no packets (a single empty chunk), so
+// consumers always observe a correctly-typed end of stream.
+type Source interface {
+	// Meta describes the stream (name, granularity, link type).
+	Meta() SourceMeta
+	// Next returns the next chunk, bounded by maxRows packets and
+	// maxBytes wire bytes (each bound ignored when <= 0; a chunk always
+	// contains at least one packet unless the stream is empty). The
+	// second result is false once the stream is exhausted.
+	Next(maxRows, maxBytes int) (Chunk, bool)
+	// Reset rewinds the source so it can be streamed again.
+	Reset() error
+}
+
+// SliceSource streams an in-memory dataset as zero-copy chunk views.
+// It exists so batch-materialized datasets (the synthetic corpora) run
+// through the same chunked execution path as genuinely streaming sources.
+type SliceSource struct {
+	ds      *Labeled
+	pos     int
+	emitted bool
+}
+
+// NewSliceSource wraps a materialized dataset.
+func NewSliceSource(ds *Labeled) *SliceSource { return &SliceSource{ds: ds} }
+
+// Labeled exposes the underlying dataset, letting consumers that need
+// the full packet set (barrier ops) avoid re-accumulating it.
+func (s *SliceSource) Labeled() *Labeled { return s.ds }
+
+// Meta implements Source.
+func (s *SliceSource) Meta() SourceMeta {
+	return SourceMeta{Name: s.ds.Name, Granularity: s.ds.Granularity, Link: s.ds.Link, Devices: s.ds.Devices}
+}
+
+// Next implements Source: chunks are subslice views, no copying.
+func (s *SliceSource) Next(maxRows, maxBytes int) (Chunk, bool) {
+	n := len(s.ds.Packets)
+	if s.pos >= n {
+		if s.emitted {
+			return Chunk{}, false
+		}
+		s.emitted = true
+		return Chunk{Base: s.pos}, true
+	}
+	end := n
+	if maxRows > 0 && s.pos+maxRows < end {
+		end = s.pos + maxRows
+	}
+	if maxBytes > 0 {
+		bytes := 0
+		e := s.pos
+		for e < end {
+			bytes += s.ds.Packets[e].WireLen()
+			e++
+			if bytes >= maxBytes {
+				break
+			}
+		}
+		end = e
+		if end == s.pos { // always make progress
+			end = s.pos + 1
+		}
+	}
+	c := Chunk{Base: s.pos, Packets: s.ds.Packets[s.pos:end]}
+	if s.ds.Labels != nil {
+		c.Labels = s.ds.Labels[s.pos:end]
+	}
+	if s.ds.Attacks != nil {
+		c.Attacks = s.ds.Attacks[s.pos:end]
+	}
+	s.pos = end
+	s.emitted = true
+	return c, true
+}
+
+// Reset implements Source.
+func (s *SliceSource) Reset() error {
+	s.pos, s.emitted = 0, false
+	return nil
+}
+
+// GenSource is a generator-backed source: it defers dataset synthesis to
+// the first pull, so building a pipeline over a registered dataset costs
+// nothing until packets are actually consumed. (The simulator itself
+// still materializes the trace internally to sort it into time order;
+// the deferral bounds when that happens, not its peak. PcapSource is the
+// genuinely O(chunk) path.)
+type GenSource struct {
+	spec  Spec
+	scale float64
+	inner *SliceSource
+}
+
+// NewGenSource wraps a registered dataset spec at the given scale.
+func NewGenSource(spec Spec, scale float64) *GenSource {
+	return &GenSource{spec: spec, scale: scale}
+}
+
+func (g *GenSource) materialize() *SliceSource {
+	if g.inner == nil {
+		g.inner = NewSliceSource(g.spec.Generate(g.scale))
+	}
+	return g.inner
+}
+
+// Labeled exposes the generated dataset (generating it on first call).
+func (g *GenSource) Labeled() *Labeled { return g.materialize().Labeled() }
+
+// Meta implements Source.
+func (g *GenSource) Meta() SourceMeta { return g.materialize().Meta() }
+
+// Next implements Source, generating the dataset on the first pull.
+func (g *GenSource) Next(maxRows, maxBytes int) (Chunk, bool) {
+	return g.materialize().Next(maxRows, maxBytes)
+}
+
+// Reset implements Source; the generated trace is kept.
+func (g *GenSource) Reset() error {
+	if g.inner == nil {
+		return nil
+	}
+	return g.inner.Reset()
+}

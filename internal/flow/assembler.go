@@ -1,0 +1,224 @@
+package flow
+
+import (
+	"sort"
+	"time"
+
+	"lumen/internal/netpkt"
+)
+
+// UniflowAssembler groups a time-ordered packet stream into uniflows
+// incrementally. Feed packets with Add — which returns flows evicted
+// mid-stream once they have sat idle past the timeout — and call Flush at
+// end of stream for the remainder. Eviction only changes *when* a flow is
+// emitted, never its contents: a swept flow's next same-tuple packet (if
+// any) arrives after a gap already exceeding the idle timeout, so batch
+// assembly would have split there too. Driving the assembler over a whole
+// capture therefore yields exactly the flows of Uniflows, and a chunked
+// caller that offsets packet indices gets bit-identical output.
+type UniflowAssembler struct {
+	idle      time.Duration
+	active    map[netpkt.FiveTuple]*Uniflow
+	lastSweep time.Time
+	started   bool
+}
+
+// NewUniflowAssembler returns an empty assembler with the given options.
+func NewUniflowAssembler(opts Options) *UniflowAssembler {
+	return &UniflowAssembler{idle: opts.idle(), active: make(map[netpkt.FiveTuple]*Uniflow)}
+}
+
+// Add ingests packet i (its index in the caller's stream, recorded in
+// PacketIdx) and returns any flows evicted because they have been idle
+// past the timeout, ordered by first-packet time then tuple. Packets
+// without a five-tuple advance the idle sweep but join no flow. Packets
+// must arrive in non-decreasing time order.
+func (a *UniflowAssembler) Add(i int, p *netpkt.Packet) []*Uniflow {
+	var out []*Uniflow
+	if !a.started {
+		a.started = true
+		a.lastSweep = p.Ts
+	} else if p.Ts.Sub(a.lastSweep) > a.idle {
+		out = a.sweep(p.Ts)
+		a.lastSweep = p.Ts
+	}
+	ft, ok := p.Tuple()
+	if !ok {
+		return out
+	}
+	f := a.active[ft]
+	if f != nil && p.Ts.Sub(f.Last) > a.idle {
+		out = append(out, f)
+		f = nil
+	}
+	if f == nil {
+		f = &Uniflow{Tuple: ft, First: p.Ts}
+		a.active[ft] = f
+	}
+	f.PacketIdx = append(f.PacketIdx, i)
+	f.Last = p.Ts
+	f.Bytes += p.WireLen()
+	f.Payload += len(p.Payload)
+	return out
+}
+
+// sweep evicts every active flow idle past the timeout. Evicted flows are
+// removed from the active set, so Flush cannot emit them again.
+func (a *UniflowAssembler) sweep(now time.Time) []*Uniflow {
+	var out []*Uniflow
+	for ft, f := range a.active {
+		if now.Sub(f.Last) > a.idle {
+			out = append(out, f)
+			delete(a.active, ft)
+		}
+	}
+	SortUniflows(out)
+	return out
+}
+
+// Flush emits the remaining active flows (end of stream) and resets the
+// assembler for reuse.
+func (a *UniflowAssembler) Flush() []*Uniflow {
+	out := make([]*Uniflow, 0, len(a.active))
+	for ft, f := range a.active {
+		out = append(out, f)
+		delete(a.active, ft)
+	}
+	SortUniflows(out)
+	a.started = false
+	return out
+}
+
+// ConnAssembler is the bidirectional counterpart of UniflowAssembler:
+// it groups a time-ordered packet stream into Zeek-style connections,
+// evicting idle connections mid-stream with their conn state finalized.
+type ConnAssembler struct {
+	idle      time.Duration
+	active    map[netpkt.FiveTuple]*Connection
+	lastSweep time.Time
+	started   bool
+}
+
+// NewConnAssembler returns an empty assembler with the given options.
+func NewConnAssembler(opts Options) *ConnAssembler {
+	return &ConnAssembler{idle: opts.idle(), active: make(map[netpkt.FiveTuple]*Connection)}
+}
+
+// Add ingests packet i and returns any connections evicted because they
+// have been idle past the timeout, finalized (conn state assigned) and
+// ordered by first-packet time then tuple.
+func (a *ConnAssembler) Add(i int, p *netpkt.Packet) []*Connection {
+	var out []*Connection
+	if !a.started {
+		a.started = true
+		a.lastSweep = p.Ts
+	} else if p.Ts.Sub(a.lastSweep) > a.idle {
+		out = a.sweep(p.Ts)
+		a.lastSweep = p.Ts
+	}
+	ft, ok := p.Tuple()
+	if !ok {
+		return out
+	}
+	key := ft.Canonical()
+	c := a.active[key]
+	if c != nil && p.Ts.Sub(c.Last) > a.idle {
+		c.finalize()
+		out = append(out, c)
+		c = nil
+	}
+	if c == nil {
+		c = &Connection{Tuple: ft, First: p.Ts} // first packet defines originator
+		a.active[key] = c
+	}
+	c.add(i, p, ft)
+	return out
+}
+
+// sweep evicts and finalizes every active connection idle past the
+// timeout, removing it from the active set so Flush cannot double-emit.
+func (a *ConnAssembler) sweep(now time.Time) []*Connection {
+	var out []*Connection
+	for key, c := range a.active {
+		if now.Sub(c.Last) > a.idle {
+			c.finalize()
+			out = append(out, c)
+			delete(a.active, key)
+		}
+	}
+	SortConnections(out)
+	return out
+}
+
+// Flush finalizes and emits the remaining active connections (end of
+// stream) and resets the assembler for reuse.
+func (a *ConnAssembler) Flush() []*Connection {
+	out := make([]*Connection, 0, len(a.active))
+	for key, c := range a.active {
+		c.finalize()
+		out = append(out, c)
+		delete(a.active, key)
+	}
+	SortConnections(out)
+	a.started = false
+	return out
+}
+
+// add folds one packet into the connection. ft is the packet's oriented
+// five-tuple; direction is derived by comparing it to the originator's.
+func (c *Connection) add(i int, p *netpkt.Packet, ft netpkt.FiveTuple) {
+	fromOrig := ft == c.Tuple
+	if fromOrig {
+		c.OrigIdx = append(c.OrigIdx, i)
+		c.OrigBytes += p.WireLen()
+		c.OrigPayload += len(p.Payload)
+	} else {
+		c.RespIdx = append(c.RespIdx, i)
+		c.RespBytes += p.WireLen()
+		c.RespPayload += len(p.Payload)
+	}
+	c.Last = p.Ts
+	if t := p.TCP; t != nil {
+		switch {
+		case fromOrig && t.HasFlag(netpkt.FlagSYN) && !t.HasFlag(netpkt.FlagACK):
+			c.sawSYN = true
+		case !fromOrig && t.HasFlag(netpkt.FlagSYN|netpkt.FlagACK):
+			c.sawSYNACK = true
+		}
+		if t.HasFlag(netpkt.FlagFIN) {
+			if fromOrig {
+				c.sawOrigFIN = true
+			} else {
+				c.sawRespFIN = true
+			}
+		}
+		if t.HasFlag(netpkt.FlagRST) {
+			if fromOrig {
+				c.sawOrigRST = true
+			} else {
+				c.sawRespRST = true
+			}
+		}
+	}
+}
+
+// SortUniflows orders flows by first-packet time, then tuple — the
+// canonical output order of batch assembly.
+func SortUniflows(us []*Uniflow) {
+	sort.Slice(us, func(a, b int) bool {
+		if !us[a].First.Equal(us[b].First) {
+			return us[a].First.Before(us[b].First)
+		}
+		return us[a].Tuple.String() < us[b].Tuple.String()
+	})
+}
+
+// SortConnections orders connections by first-packet time, then tuple.
+func SortConnections(cs []*Connection) {
+	sort.Slice(cs, func(a, b int) bool {
+		if !cs[a].First.Equal(cs[b].First) {
+			return cs[a].First.Before(cs[b].First)
+		}
+		return cs[a].Tuple.String() < cs[b].Tuple.String()
+	})
+}

@@ -93,108 +93,29 @@ func (o Options) idle() time.Duration {
 
 // Uniflows groups packets into unidirectional flows. Packets without a
 // five-tuple (ARP, 802.11 management) are skipped. Input packets must be
-// in non-decreasing time order (captures are).
+// in non-decreasing time order (captures are). It is the batch driver of
+// UniflowAssembler, so batch and incremental assembly cannot diverge.
 func Uniflows(pkts []*netpkt.Packet, opts Options) []*Uniflow {
-	idle := opts.idle()
-	active := make(map[netpkt.FiveTuple]*Uniflow)
+	a := NewUniflowAssembler(opts)
 	var done []*Uniflow
 	for i, p := range pkts {
-		ft, ok := p.Tuple()
-		if !ok {
-			continue
-		}
-		f := active[ft]
-		if f != nil && p.Ts.Sub(f.Last) > idle {
-			done = append(done, f)
-			f = nil
-		}
-		if f == nil {
-			f = &Uniflow{Tuple: ft, First: p.Ts}
-			active[ft] = f
-		}
-		f.PacketIdx = append(f.PacketIdx, i)
-		f.Last = p.Ts
-		f.Bytes += p.WireLen()
-		f.Payload += len(p.Payload)
+		done = append(done, a.Add(i, p)...)
 	}
-	for _, f := range active {
-		done = append(done, f)
-	}
-	sort.Slice(done, func(a, b int) bool {
-		if !done[a].First.Equal(done[b].First) {
-			return done[a].First.Before(done[b].First)
-		}
-		return done[a].Tuple.String() < done[b].Tuple.String()
-	})
+	done = append(done, a.Flush()...)
+	SortUniflows(done)
 	return done
 }
 
 // Connections groups packets into bidirectional connections with
-// Zeek-style state tracking.
+// Zeek-style state tracking. It is the batch driver of ConnAssembler.
 func Connections(pkts []*netpkt.Packet, opts Options) []*Connection {
-	idle := opts.idle()
-	active := make(map[netpkt.FiveTuple]*Connection)
+	a := NewConnAssembler(opts)
 	var done []*Connection
 	for i, p := range pkts {
-		ft, ok := p.Tuple()
-		if !ok {
-			continue
-		}
-		key := ft.Canonical()
-		c := active[key]
-		if c != nil && p.Ts.Sub(c.Last) > idle {
-			c.finalize()
-			done = append(done, c)
-			c = nil
-		}
-		if c == nil {
-			c = &Connection{Tuple: ft, First: p.Ts} // first packet defines originator
-			active[key] = c
-		}
-		fromOrig := ft == c.Tuple
-		if fromOrig {
-			c.OrigIdx = append(c.OrigIdx, i)
-			c.OrigBytes += p.WireLen()
-			c.OrigPayload += len(p.Payload)
-		} else {
-			c.RespIdx = append(c.RespIdx, i)
-			c.RespBytes += p.WireLen()
-			c.RespPayload += len(p.Payload)
-		}
-		c.Last = p.Ts
-		if t := p.TCP; t != nil {
-			switch {
-			case fromOrig && t.HasFlag(netpkt.FlagSYN) && !t.HasFlag(netpkt.FlagACK):
-				c.sawSYN = true
-			case !fromOrig && t.HasFlag(netpkt.FlagSYN|netpkt.FlagACK):
-				c.sawSYNACK = true
-			}
-			if t.HasFlag(netpkt.FlagFIN) {
-				if fromOrig {
-					c.sawOrigFIN = true
-				} else {
-					c.sawRespFIN = true
-				}
-			}
-			if t.HasFlag(netpkt.FlagRST) {
-				if fromOrig {
-					c.sawOrigRST = true
-				} else {
-					c.sawRespRST = true
-				}
-			}
-		}
+		done = append(done, a.Add(i, p)...)
 	}
-	for _, c := range active {
-		c.finalize()
-		done = append(done, c)
-	}
-	sort.Slice(done, func(a, b int) bool {
-		if !done[a].First.Equal(done[b].First) {
-			return done[a].First.Before(done[b].First)
-		}
-		return done[a].Tuple.String() < done[b].Tuple.String()
-	})
+	done = append(done, a.Flush()...)
+	SortConnections(done)
 	return done
 }
 

@@ -123,6 +123,34 @@ func (r *Reader) ReadAll() ([]*netpkt.Packet, error) {
 	}
 }
 
+// ReadChunk decodes up to maxRows packets (or up to maxBytes of wire
+// bytes, whichever bound is hit first; each bound is ignored when <= 0)
+// without holding the rest of the capture in memory. It always makes
+// progress: at least one packet is returned unless the stream is at EOF,
+// in which case it returns (nil, io.EOF).
+func (r *Reader) ReadChunk(maxRows, maxBytes int) ([]*netpkt.Packet, error) {
+	var out []*netpkt.Packet
+	bytes := 0
+	for maxRows <= 0 || len(out) < maxRows {
+		p, err := r.NextPacket()
+		if errors.Is(err, io.EOF) {
+			if len(out) == 0 {
+				return nil, io.EOF
+			}
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, p)
+		bytes += p.WireLen()
+		if maxBytes > 0 && bytes >= maxBytes {
+			break
+		}
+	}
+	return out, nil
+}
+
 // Writer encodes packets to a pcap stream.
 type Writer struct {
 	w     *bufio.Writer

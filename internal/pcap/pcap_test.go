@@ -164,3 +164,89 @@ func TestWriterDot11Link(t *testing.T) {
 		t.Fatalf("dot11 mismatch: %+v", got.Dot11)
 	}
 }
+
+func sampleCapture(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, netpkt.LinkEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(1700000000, 0).UTC()
+	for i := 0; i < n; i++ {
+		if err := w.WritePacket(samplePacket(base.Add(time.Duration(i)*time.Millisecond), uint16(1000+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadChunkRowBound(t *testing.T) {
+	r, err := NewReader(bytes.NewReader(sampleCapture(t, 10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for {
+		pkts, err := r.ReadChunk(4, 0)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pkts) > 4 || len(pkts) == 0 {
+			t.Fatalf("chunk of %d packets violates bound", len(pkts))
+		}
+		for j, p := range pkts {
+			if p.TCP.SrcPort != uint16(1000+total+j) {
+				t.Fatalf("packet %d out of order", total+j)
+			}
+		}
+		total += len(pkts)
+	}
+	if total != 10 {
+		t.Fatalf("chunks cover %d packets, want 10", total)
+	}
+}
+
+func TestReadChunkByteBoundMakesProgress(t *testing.T) {
+	r, err := NewReader(bytes.NewReader(sampleCapture(t, 5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1-byte bound is below any packet size; each chunk must still
+	// return exactly one packet rather than stalling or erroring.
+	for i := 0; i < 5; i++ {
+		pkts, err := r.ReadChunk(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pkts) != 1 {
+			t.Fatalf("chunk %d has %d packets, want 1", i, len(pkts))
+		}
+	}
+	if _, err := r.ReadChunk(0, 1); !errors.Is(err, io.EOF) {
+		t.Fatalf("want io.EOF at end of capture, got %v", err)
+	}
+}
+
+func TestReadChunkUnboundedEqualsReadAll(t *testing.T) {
+	raw := sampleCapture(t, 7)
+	r1, _ := NewReader(bytes.NewReader(raw))
+	want, err := r1.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewReader(bytes.NewReader(raw))
+	got, err := r2.ReadChunk(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("unbounded chunk read %d packets, ReadAll %d", len(got), len(want))
+	}
+}
