@@ -18,12 +18,18 @@ test:
 # It then runs the batch-vs-streaming engine benchmarks (see
 # internal/core/stream_bench_test.go), whose peak-B custom metric — the
 # live-heap high-water mark of a test-mode run — lands in BENCH_PR4.json.
+# Finally it runs the sequential-vs-pipelined streaming benchmarks
+# (BenchmarkPipeline*: CPU-bound and IO-bound source, 1 and N workers;
+# peak-B heap high-water mark plus inflight-B pump buffering) into
+# BENCH_PR5.json.
 BENCH_LABEL ?= current
 bench:
 	$(GO) test -bench=. -benchtime=300ms -count=3 -run='^$$' ./internal/mlkit/... \
 		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out BENCH_PR3.json
 	$(GO) test -bench=BenchmarkStream -benchtime=1x -count=3 -run='^$$' ./internal/core/ \
 		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out BENCH_PR4.json
+	$(GO) test -bench=BenchmarkPipeline -benchtime=5x -count=3 -run='^$$' ./internal/core/ \
+		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out BENCH_PR5.json
 
 # bench-paper runs the paper table/figure reproduction benchmarks once each.
 bench-paper:
@@ -33,10 +39,11 @@ vet:
 	$(GO) vet ./...
 
 # race runs the concurrency-sensitive packages (engine/cache singleflight,
-# streaming engine, flow assemblers, span tracer, benchsuite worker pool,
-# and the mlkit/linalg row-parallel kernels) under the race detector.
+# streaming engine + staged pipeline, chunk pump and decoder buffer pool,
+# flow assemblers, span tracer, benchsuite worker pool, and the
+# mlkit/linalg row-parallel kernels) under the race detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/flow/... ./internal/benchsuite/... ./internal/obs/... ./internal/mlkit/...
+	$(GO) test -race ./internal/core/... ./internal/dataset/... ./internal/pcap/... ./internal/flow/... ./internal/benchsuite/... ./internal/obs/... ./internal/mlkit/...
 
 # docs-lint enforces the documentation floor (see doclint_test.go):
 # package comments everywhere under internal/ and cmd/, doc comments on

@@ -57,6 +57,9 @@ func main() {
 		cacheEnt    = flag.Int("cache-entries", 0, "bound the shared cache to N entries with LRU eviction (0 = unbounded)")
 		stream      = flag.Bool("stream", false, "execute pipelines with the chunked streaming engine instead of batch runs")
 		chunkRows   = flag.Int("chunk-rows", 0, "packets per streamed chunk with -stream (0 = whole trace in one chunk)")
+		chunkBytes  = flag.Int("chunk-bytes", 0, "wire bytes per streamed chunk with -stream (0 = no byte bound; combines with -chunk-rows, first bound wins)")
+		pipeDepth   = flag.Int("pipeline-depth", 0, "decoded chunks in flight with -stream (>0 runs the staged source/ops/sink pipeline; 0 = sequential chunk loop)")
+		streamWrk   = flag.Int("stream-workers", 0, "goroutines for order-free row-local ops with -stream (>1 implies the staged pipeline; 0 or 1 = single worker)")
 		profile     = flag.Bool("profile", false, "sample per-op allocations and print the aggregated per-op profile")
 		profileOut  = flag.String("profile-out", "", "write the aggregated per-op profile as JSON to this file")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON of the run to this file (open at ui.perfetto.dev)")
@@ -67,16 +70,19 @@ func main() {
 	flag.Parse()
 
 	cfg := benchsuite.Config{
-		Scale:        *scale,
-		Seed:         *seed,
-		Workers:      *workers,
-		NoCache:      *noCache,
-		CacheEntries: *cacheEnt,
-		Profile:      *profile,
-		Stream:       *stream,
-		ChunkRows:    *chunkRows,
-		AlgIDs:       splitIDs(*algs),
-		DatasetIDs:   splitIDs(*datasets),
+		Scale:         *scale,
+		Seed:          *seed,
+		Workers:       *workers,
+		NoCache:       *noCache,
+		CacheEntries:  *cacheEnt,
+		Profile:       *profile,
+		Stream:        *stream,
+		ChunkRows:     *chunkRows,
+		ChunkBytes:    *chunkBytes,
+		PipelineDepth: *pipeDepth,
+		StreamWorkers: *streamWrk,
+		AlgIDs:        splitIDs(*algs),
+		DatasetIDs:    splitIDs(*datasets),
 	}
 	opts := options{
 		fig:         *fig,

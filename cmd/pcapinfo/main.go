@@ -2,6 +2,12 @@
 // span, protocol mix and top talkers. With -connlog it instead emits a
 // Zeek-style conn.log of the capture's bidirectional flows.
 //
+// Both passes run on the pipelined source stage (dataset.StartPump): a
+// decode goroutine reads chunks ahead through a bounded channel and
+// recycles their packet buffers once the aggregation loop releases them,
+// so decode overlaps with counting and memory stays a few chunks deep
+// however large the file is.
+//
 // Usage:
 //
 //	pcapinfo capture.pcap
@@ -9,18 +15,20 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"sort"
 	"time"
 
+	"lumen/internal/dataset"
 	"lumen/internal/flow"
 	"lumen/internal/netpkt"
-	"lumen/internal/pcap"
 )
+
+// chunkRows bounds each decoded chunk; with the pump's default depth the
+// process holds only a handful of these at any moment.
+const chunkRows = 1024
 
 func main() {
 	connlog := flag.Bool("connlog", false, "emit a Zeek-style conn.log instead of a summary")
@@ -41,77 +49,89 @@ func main() {
 	}
 }
 
-// runConnlog streams the capture through an incremental connection
-// assembler — holding per-connection state but never the packet list —
-// and prints the result as conn.log TSV.
-func runConnlog(path string) error {
+// pump opens path and starts the pipelined source stage over it. The
+// caller must range over pump.C, call Done per chunk, then check Err.
+func pump(path string) (*dataset.Pump, *dataset.PcapSource, func(), error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return nil, nil, nil, err
 	}
-	defer f.Close()
-	r, err := pcap.NewReader(f)
+	src, err := dataset.NewPcapSource(path, f, dataset.Packet)
+	if err != nil {
+		f.Close()
+		return nil, nil, nil, err
+	}
+	p := dataset.StartPump(src, dataset.PumpConfig{
+		MaxRows: chunkRows,
+		Depth:   2,
+		Recycle: true,
+	})
+	return p, src, func() { f.Close() }, nil
+}
+
+// runConnlog streams the capture through an incremental connection
+// assembler — holding per-connection state but never the packet list —
+// and prints the result as conn.log TSV. Connections carry only indices
+// and counters, so chunk buffers are recycled as soon as each chunk has
+// been fed to the assembler.
+func runConnlog(path string) error {
+	p, _, closef, err := pump(path)
 	if err != nil {
 		return err
 	}
+	defer closef()
 	asm := flow.NewConnAssembler(flow.Options{})
 	var conns []*flow.Connection
-	i := 0
-	for {
-		p, err := r.NextPacket()
-		if errors.Is(err, io.EOF) {
-			break
+	for nc := range p.C {
+		for j, pk := range nc.Packets {
+			conns = append(conns, asm.Add(nc.Base+j, pk)...)
 		}
-		if err != nil {
-			return err
-		}
-		conns = append(conns, asm.Add(i, p)...)
-		i++
+		p.Done(nc)
+	}
+	if err := p.Err(); err != nil {
+		return err
 	}
 	conns = append(conns, asm.Flush()...)
 	flow.SortConnections(conns)
 	return flow.WriteConnLog(os.Stdout, conns)
 }
 
-// run makes a single streaming pass over the capture, accumulating only
-// counters — memory stays constant however large the file is.
+// run makes a single pipelined pass over the capture, accumulating only
+// counters — memory stays constant however large the file is, and the
+// summary reports how much the pump actually buffered.
 func run(path string) error {
-	f, err := os.Open(path)
+	p, src, closef, err := pump(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	r, err := pcap.NewReader(f)
-	if err != nil {
-		return err
-	}
+	defer closef()
 	var first, last time.Time
 	var packets, bytes int
 	protos := map[string]int{}
 	talkers := map[string]int{}
-	for {
-		p, err := r.NextPacket()
-		if errors.Is(err, io.EOF) {
-			break
+	for nc := range p.C {
+		for _, pk := range nc.Packets {
+			if packets == 0 {
+				first = pk.Ts
+			}
+			last = pk.Ts
+			packets++
+			bytes += pk.WireLen()
+			protos[protoName(pk)]++
+			if ip := pk.SrcIP(); ip.IsValid() {
+				talkers[ip.String()]++
+			} else if pk.Dot11 != nil {
+				talkers[pk.Dot11.Addr2.String()]++
+			}
 		}
-		if err != nil {
-			return err
-		}
-		if packets == 0 {
-			first = p.Ts
-		}
-		last = p.Ts
-		packets++
-		bytes += p.WireLen()
-		protos[protoName(p)]++
-		if ip := p.SrcIP(); ip.IsValid() {
-			talkers[ip.String()]++
-		} else if p.Dot11 != nil {
-			talkers[p.Dot11.Addr2.String()]++
-		}
+		p.Done(nc)
 	}
+	if err := p.Err(); err != nil {
+		return err
+	}
+	st := p.Stats()
 	fmt.Printf("file:      %s\n", path)
-	fmt.Printf("link type: %d\n", r.LinkType())
+	fmt.Printf("link type: %d\n", src.Meta().Link)
 	fmt.Printf("packets:   %d\n", packets)
 	if packets == 0 {
 		return nil
@@ -123,6 +143,8 @@ func run(path string) error {
 		fmt.Printf(" (%.1f kbit/s)", float64(bytes)*8/dur.Seconds()/1000)
 	}
 	fmt.Println()
+	fmt.Printf("buffered:  %d chunks of ≤%d packets, peak %d bytes in flight\n",
+		st.Chunks, chunkRows, st.PeakInFlightBytes)
 	fmt.Println("protocols:")
 	for _, kv := range sorted(protos) {
 		fmt.Printf("  %-8s %d\n", kv.k, kv.v)

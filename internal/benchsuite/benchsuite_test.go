@@ -449,4 +449,32 @@ func TestStreamedSuiteMatchesBatch(t *testing.T) {
 	if m == nil || !m.Stream || m.ChunkRows != 64 {
 		t.Errorf("manifest does not record streaming config: %+v", m)
 	}
+
+	// The staged pipeline must land on the same results and record its
+	// shape (plus the chunk byte bound) in the manifest.
+	piped, err := New(Config{
+		Scale: 0.3, Seed: 1, Stream: true, ChunkRows: 64,
+		ChunkBytes: 1 << 20, PipelineDepth: 2, StreamWorkers: 2,
+		AlgIDs:     []string{"A13", "A14"},
+		DatasetIDs: []string{"F1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped.RunSameDataset()
+	if len(batch.Store.Results) != len(piped.Store.Results) {
+		t.Fatalf("result counts differ: batch %d, pipelined %d",
+			len(batch.Store.Results), len(piped.Store.Results))
+	}
+	for i, b := range batch.Store.Results {
+		p := piped.Store.Results[i]
+		b.Wall, p.Wall = 0, 0
+		if !reflect.DeepEqual(b, p) {
+			t.Errorf("result %d differs:\nbatch:     %+v\npipelined: %+v", i, b, p)
+		}
+	}
+	pm := piped.Store.Meta.Manifest
+	if pm == nil || pm.ChunkBytes != 1<<20 || pm.PipelineDepth != 2 || pm.StreamWorkers != 2 {
+		t.Errorf("manifest does not record pipeline config: %+v", pm)
+	}
 }

@@ -67,8 +67,13 @@ type Manifest struct {
 	Profile      bool     `json:"profile,omitempty"`
 	Stream       bool     `json:"stream,omitempty"`
 	ChunkRows    int      `json:"chunk_rows,omitempty"`
-	GoVersion    string   `json:"go_version"`
-	MaxProcs     int      `json:"max_procs"`
+	ChunkBytes   int      `json:"chunk_bytes,omitempty"`
+	// PipelineDepth and StreamWorkers record the staged-pipeline shape of
+	// streamed runs (0 when the sequential chunk loop ran).
+	PipelineDepth int    `json:"pipeline_depth,omitempty"`
+	StreamWorkers int    `json:"stream_workers,omitempty"`
+	GoVersion     string `json:"go_version"`
+	MaxProcs      int    `json:"max_procs"`
 }
 
 // Store accumulates results and answers the queries the figures need.

@@ -53,6 +53,17 @@ type Config struct {
 	// ChunkRows bounds the packets per streamed chunk when Stream is set
 	// (0 = whole trace in one chunk).
 	ChunkRows int
+	// ChunkBytes bounds the wire bytes per streamed chunk when Stream is
+	// set (0 = no byte bound); whichever of ChunkRows/ChunkBytes trips
+	// first closes the chunk.
+	ChunkBytes int
+	// PipelineDepth, when > 0 with Stream, runs each engine's streaming
+	// pass as a staged bounded-channel pipeline with this many decoded
+	// chunks in flight (see core.StreamConfig).
+	PipelineDepth int
+	// StreamWorkers, when > 1 with Stream, fans the order-free row-local
+	// ops of each streamed chunk across this many goroutines.
+	StreamWorkers int
 	// Tracer, when non-nil, records a span tree for the whole suite: a
 	// root "suite" span, one batch span per RunSameDataset/RunCrossDataset
 	// call, one run span per (alg, train, test) on the executing worker's
@@ -173,16 +184,19 @@ func New(cfg Config) (*Suite, error) {
 // so saved results are self-describing ("which flags produced this?").
 func (s *Suite) manifest() *Manifest {
 	m := &Manifest{
-		Scale:        s.cfg.scale(),
-		Seed:         s.cfg.Seed,
-		Workers:      s.cfg.Workers,
-		Cache:        !s.cfg.NoCache,
-		CacheEntries: s.cfg.CacheEntries,
-		Profile:      s.cfg.Profile,
-		Stream:       s.cfg.Stream,
-		ChunkRows:    s.cfg.ChunkRows,
-		GoVersion:    runtime.Version(),
-		MaxProcs:     runtime.GOMAXPROCS(0),
+		Scale:         s.cfg.scale(),
+		Seed:          s.cfg.Seed,
+		Workers:       s.cfg.Workers,
+		Cache:         !s.cfg.NoCache,
+		CacheEntries:  s.cfg.CacheEntries,
+		Profile:       s.cfg.Profile,
+		Stream:        s.cfg.Stream,
+		ChunkRows:     s.cfg.ChunkRows,
+		ChunkBytes:    s.cfg.ChunkBytes,
+		PipelineDepth: s.cfg.PipelineDepth,
+		StreamWorkers: s.cfg.StreamWorkers,
+		GoVersion:     runtime.Version(),
+		MaxProcs:      runtime.GOMAXPROCS(0),
 	}
 	if m.Workers == 0 {
 		m.Workers = runtime.GOMAXPROCS(0)
@@ -296,7 +310,12 @@ func (s *Suite) runOne(alg algorithms.Algorithm, trainID, testID string, trainDS
 		eng.SetCache(s.cache)
 	}
 	eng.Seed = s.cfg.Seed + int64(hash(alg.ID+trainID+testID))
-	streamCfg := core.StreamConfig{ChunkRows: s.cfg.ChunkRows}
+	streamCfg := core.StreamConfig{
+		ChunkRows:     s.cfg.ChunkRows,
+		ChunkBytes:    s.cfg.ChunkBytes,
+		PipelineDepth: s.cfg.PipelineDepth,
+		Workers:       s.cfg.StreamWorkers,
+	}
 	if span != nil {
 		eng.Span = span.Child("train")
 	}

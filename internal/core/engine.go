@@ -163,7 +163,10 @@ type Engine struct {
 	cache *Cache
 	// Profile holds per-op stats of the most recent run.
 	Profile []OpStats
-	trained bool
+	// LastStream describes the most recent RunStream execution (chunk
+	// count, pipeline shape, stage stalls, memory high-water marks).
+	LastStream StreamStats
+	trained    bool
 }
 
 // NewEngine wraps a pipeline. Call Check (or let Train do it) before use.

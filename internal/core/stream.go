@@ -2,21 +2,52 @@ package core
 
 import (
 	"fmt"
-	"time"
 
 	"lumen/internal/dataset"
 	"lumen/internal/flow"
 	"lumen/internal/obs"
 )
 
-// StreamConfig bounds the chunks a RunStream pass pulls from its source.
-// Zero values mean unbounded: with both bounds zero the whole trace
-// arrives as one chunk and streaming degenerates to batch execution.
+// StreamConfig bounds the chunks a RunStream pass pulls from its source
+// and shapes its execution. Zero chunk bounds mean unbounded: with both
+// zero the whole trace arrives as one chunk and streaming degenerates to
+// batch execution. Zero pipeline fields select the sequential loop; any
+// non-default pipeline field selects the staged pipeline (see
+// runPipelined), which produces bit-identical results.
 type StreamConfig struct {
 	// ChunkRows caps the packets per chunk (0 = no row bound).
 	ChunkRows int
 	// ChunkBytes caps the wire bytes per chunk (0 = no byte bound).
 	ChunkBytes int
+	// PipelineDepth bounds how many decoded chunks may queue between the
+	// source goroutine and the op workers (0 = sequential execution,
+	// unless Workers asks for parallelism, in which case the default
+	// depth of 2 applies). Peak memory grows with it: the pipeline holds
+	// O(PipelineDepth + Workers) chunks in flight.
+	PipelineDepth int
+	// Workers is the number of parallel op-stage workers (0 or 1 = one
+	// worker). Only order-free row-local ops fan out; carry-state ops and
+	// model scoring always run in stream order in the sink stage.
+	Workers int
+}
+
+// pipelined reports whether the config selects the staged pipeline.
+func (c StreamConfig) pipelined() bool { return c.PipelineDepth > 0 || c.Workers > 1 }
+
+// depth returns the effective source-queue depth of a pipelined run.
+func (c StreamConfig) depth() int {
+	if c.PipelineDepth > 0 {
+		return c.PipelineDepth
+	}
+	return 2
+}
+
+// workers returns the effective op-stage worker count.
+func (c StreamConfig) workers() int {
+	if c.Workers > 1 {
+		return c.Workers
+	}
+	return 1
 }
 
 // streamableAlways lists ops that are row-local in both modes: each output
@@ -46,6 +77,29 @@ func streamable(fn string, mode Mode) bool {
 	return mode == ModeTest && streamableTest[fn]
 }
 
+// orderedOnly reports whether a streamed op must see chunks in stream
+// order and therefore cannot fan out to parallel chunk workers:
+//   - kitsune_features / dot11_features fold damped statistics across
+//     chunks (opCtx.carry), so chunk N's output depends on chunks < N;
+//   - field_extract does the same for its iat column (previous packet
+//     timestamp) — without iat it is order-free;
+//   - train in test mode scores through the fitted classifier, whose
+//     inference path may reuse internal scratch buffers (e.g. MLP batch
+//     activations), so concurrent calls on one model are unsafe.
+func orderedOnly(op OpSpec) bool {
+	switch op.Func {
+	case "kitsune_features", "dot11_features", "train":
+		return true
+	case "field_extract":
+		for _, f := range params(op.Params).strList("fields") {
+			if f == "iat" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // streamPlan is the static split of a pipeline into its streamed prefix
 // and deferred (barrier) suffix, computed before any packet is read.
 type streamPlan struct {
@@ -54,6 +108,14 @@ type streamPlan struct {
 	// flowSink[i]: op i is a flow_assemble fed packet-by-packet during the
 	// chunk loop; its Flows output materializes at flush.
 	flowSink []bool
+	// worker[i]: op i is streamed, order-free and fed only by other
+	// order-free streamed values, so pipelined runs may execute it on
+	// parallel chunk workers. ordered[i] marks the remaining streamed
+	// ops, which the sink stage runs in stream order (nOrdered counts
+	// them).
+	worker   []bool
+	ordered  []bool
+	nOrdered int
 	// accum holds the names of streamed frame outputs that some deferred
 	// op reads: their per-chunk frames are retained and concatenated at
 	// flush. Streamed values consumed only by streamed ops are never kept.
@@ -70,6 +132,8 @@ func (e *Engine) planStream(mode Mode) *streamPlan {
 	pl := &streamPlan{
 		streamed: make([]bool, len(e.P.Ops)),
 		flowSink: make([]bool, len(e.P.Ops)),
+		worker:   make([]bool, len(e.P.Ops)),
+		ordered:  make([]bool, len(e.P.Ops)),
 		accum:    map[string]bool{},
 	}
 	streamedVal := map[string]bool{InputName: true}
@@ -88,6 +152,29 @@ func (e *Engine) planStream(mode Mode) *streamPlan {
 		if allStreamed && streamable(op.Func, mode) {
 			pl.streamed[i] = true
 			streamedVal[op.Output] = true
+		}
+	}
+	// Split streamed ops into the parallelizable worker stage and the
+	// order-preserving sink stage. An op can only fan out if everything
+	// it reads is produced on the same worker (or is the chunk itself);
+	// anything downstream of an ordered op is ordered too.
+	workerVal := map[string]bool{InputName: true}
+	for i, op := range e.P.Ops {
+		if !pl.streamed[i] {
+			continue
+		}
+		free := !orderedOnly(op)
+		for _, in := range op.Input {
+			if !workerVal[in] {
+				free = false
+			}
+		}
+		if free {
+			pl.worker[i] = true
+			workerVal[op.Output] = true
+		} else {
+			pl.ordered[i] = true
+			pl.nOrdered++
 		}
 	}
 	// Deferred ops pull their streamed inputs from the accumulator.
@@ -131,261 +218,66 @@ type labeledSource interface {
 // with exact batch semantics — the result is bit-identical to run() on
 // the materialized dataset, at every chunk size.
 //
-// Memory: peak state is one chunk plus whatever the plan must retain —
-// accumulated feature frames for deferred ops, and the full packet set
-// when a barrier op (or flow assembly, whose output carries packet
-// labels) needs it. A fully streamed test pass holds O(chunk). Sources
-// backed by a materialized dataset satisfy the full-packet case
+// With cfg.PipelineDepth or cfg.Workers set, execution is a staged
+// pipeline (decode, row-local ops, ordered sink in separate goroutines
+// over bounded channels; see runPipelined) and still bit-identical.
+//
+// Memory: peak state is the in-flight chunks (one sequentially,
+// O(PipelineDepth + Workers) pipelined) plus whatever the plan must
+// retain — accumulated feature frames for deferred ops, and the full
+// packet set when a barrier op (or flow assembly, whose output carries
+// packet labels) needs it. A fully streamed test pass holds O(chunk).
+// Sources backed by a materialized dataset satisfy the full-packet case
 // zero-copy; for PcapSource the packets are accumulated, making
-// barrier-bound pipelines O(trace) there.
+// barrier-bound pipelines O(trace) there. When nothing outlives its
+// chunk and the source recycles (PcapSource), packet buffers are pooled
+// so the steady state allocates almost nothing per chunk.
 //
 // RunStream bypasses the shared Cache: chunk results are keyed by
 // stream position and fold state, which the content-addressed cache
 // cannot express.
 func (e *Engine) RunStream(src dataset.Source, mode Mode, cfg StreamConfig) (*EvalResult, error) {
-	if err := e.Check(); err != nil {
+	r, err := newStreamExec(e, src, mode)
+	if err != nil {
 		return nil, err
 	}
-	pl := e.planStream(mode)
-	meta := src.Meta()
-	sc := &streamCtx{carry: map[string]any{}}
-
-	sinks := map[int]*flowSinkState{}
-	for i, op := range e.P.Ops {
-		if !pl.flowSink[i] {
-			continue
-		}
-		opts, gran, err := flowParams(params(op.Params))
-		if err != nil {
-			return nil, fmt.Errorf("core: op %d (%s -> %s): %w", i, op.Func, op.Output, err)
-		}
-		s := &flowSinkState{gran: gran}
-		if gran == dataset.UniflowG {
-			s.uni = flow.NewUniflowAssembler(opts)
-		} else {
-			s.conn = flow.NewConnAssembler(opts)
-		}
-		sinks[i] = s
+	if cfg.pipelined() {
+		return r.runPipelined(src, cfg)
 	}
-
-	prof := make([]OpStats, len(e.P.Ops))
-	for i, op := range e.P.Ops {
-		prof[i] = OpStats{Func: op.Func, Output: op.Output}
-	}
-
-	accum := map[string][]*Frame{}
-	lastVal := map[string]Value{}
-	var results []*EvalResult
-	var hwm uint64
-
-	// full-packet accumulation, only when the plan needs it and the
-	// source cannot hand over a materialized dataset.
-	var accDS *dataset.Labeled
-	lsrc, hasLabeled := src.(labeledSource)
-	if pl.needPackets && !hasLabeled {
-		accDS = &dataset.Labeled{
-			Name:        meta.Name,
-			Granularity: meta.Granularity,
-			Link:        meta.Link,
-			Devices:     meta.Devices,
-		}
-	}
-
-	var nChunks int
+	e.LastStream = StreamStats{Workers: 1}
+	rec := r.recycler(src)
 	for {
 		ck, ok := src.Next(cfg.ChunkRows, cfg.ChunkBytes)
 		if !ok {
 			break
 		}
-		nChunks++
+		job := r.newJob(dataset.NumberedChunk{Seq: r.nChunks, Chunk: ck})
 		var chunkSpan *obs.Span
 		if e.Span != nil {
 			chunkSpan = e.Span.Child("chunk")
 			chunkSpan.Set("base", ck.Base)
 			chunkSpan.Set("rows", len(ck.Packets))
 		}
-		cds := &dataset.Labeled{
-			Name:        meta.Name,
-			Granularity: meta.Granularity,
-			Link:        meta.Link,
-			Devices:     meta.Devices,
-			Packets:     ck.Packets,
-			Labels:      ck.Labels,
-			Attacks:     ck.Attacks,
-		}
-		if accDS != nil {
-			accDS.Packets = append(accDS.Packets, ck.Packets...)
-			if ck.Labels != nil {
-				accDS.Labels = append(accDS.Labels, ck.Labels...)
-			}
-			if ck.Attacks != nil {
-				accDS.Attacks = append(accDS.Attacks, ck.Attacks...)
-			}
-		}
-		sc.base = ck.Base
-		env := map[string]Value{InputName: Packets{DS: cds}}
-		for i, op := range e.P.Ops {
-			if s, ok := sinks[i]; ok {
-				for j, p := range ck.Packets {
-					if s.uni != nil {
-						s.unis = append(s.unis, s.uni.Add(ck.Base+j, p)...)
-					} else {
-						s.cons = append(s.cons, s.conn.Add(ck.Base+j, p)...)
-					}
-				}
-				continue
-			}
-			if !pl.streamed[i] {
-				continue
-			}
-			in := make([]Value, len(op.Input))
-			for j, name := range op.Input {
-				v, ok := env[name]
-				if !ok {
-					return nil, fmt.Errorf("core: op %d (%s): value %q was freed or never set", i, op.Func, name)
-				}
-				in[j] = v
-			}
-			ctx := &opCtx{mode: mode, outName: op.Output, state: e.state, seed: e.Seed, metrics: e.Metrics, stream: sc}
-			if chunkSpan != nil {
-				ctx.span = chunkSpan.Child("op:" + op.Func)
-				ctx.span.Set("output", op.Output)
-			}
-			st := OpStats{Func: op.Func, Output: op.Output}
-			start := time.Now()
-			out, err := e.runOp(opRegistry[op.Func], ctx, op, in, &st)
-			st.Wall = time.Since(start)
-			if err == nil {
-				st.OutRows = outRows(out)
-			}
-			e.finishOp(ctx.span, &st, err)
-			if err != nil {
-				return nil, fmt.Errorf("core: op %d (%s -> %s): %w", i, op.Func, op.Output, err)
-			}
-			prof[i].Wall += st.Wall
-			prof[i].Allocs += st.Allocs
-			prof[i].OutRows += st.OutRows
-			env[op.Output] = out
-			if ctx.result != nil {
-				results = append(results, ctx.result)
-			}
-			if pl.accum[op.Output] {
-				if fr, ok := out.(*Frame); ok {
-					accum[op.Output] = append(accum[op.Output], fr)
-				} else {
-					lastVal[op.Output] = out
-				}
-			}
-		}
-		if live := heapLiveBytes(); live > hwm {
-			hwm = live
-		}
+		r.feedSinks(job)
+		r.runOps(job, r.pl.streamed, r.sc, chunkSpan)
 		if chunkSpan != nil {
 			chunkSpan.End()
 		}
-		if e.Metrics != nil {
-			e.Metrics.Counter("lumen_chunks_total",
-				"Chunks pulled from packet sources by streaming runs.").Inc()
+		err := r.absorb(job)
+		if rec != nil {
+			rec.Recycle(job.nc.Chunk)
 		}
-	}
-	if e.Metrics != nil {
-		e.Metrics.Gauge("lumen_stream_hwm_bytes",
-			"Live-heap high-water mark observed at chunk boundaries of the most recent streaming run.").Set(float64(hwm))
+		putChunkJob(job)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if errSrc, ok := src.(interface{ Err() error }); ok {
 		if err := errSrc.Err(); err != nil {
 			return nil, fmt.Errorf("core: packet source: %w", err)
 		}
 	}
-
-	var fullDS *dataset.Labeled
-	if pl.needPackets {
-		if hasLabeled {
-			fullDS = lsrc.Labeled()
-		} else {
-			fullDS = accDS
-		}
-	}
-
-	// Flush: run deferred ops in op order with batch semantics over the
-	// concatenated accumulations.
-	fenv := map[string]Value{}
-	concatenated := map[string]*Frame{}
-	resolve := func(name string) (Value, error) {
-		if v, ok := fenv[name]; ok {
-			return v, nil
-		}
-		if fr, ok := concatenated[name]; ok {
-			return fr, nil
-		}
-		if parts, ok := accum[name]; ok {
-			fr, err := concatFrames(parts)
-			if err != nil {
-				return nil, err
-			}
-			concatenated[name] = fr
-			return fr, nil
-		}
-		if v, ok := lastVal[name]; ok {
-			return v, nil
-		}
-		if name == InputName {
-			return Packets{DS: fullDS}, nil
-		}
-		return nil, fmt.Errorf("value %q was freed or never set", name)
-	}
-	for i, op := range e.P.Ops {
-		if pl.streamed[i] {
-			continue
-		}
-		st := OpStats{Func: op.Func, Output: op.Output}
-		start := time.Now()
-		if s, ok := sinks[i]; ok {
-			out := &Flows{DS: fullDS, Granularity: s.gran}
-			if s.uni != nil {
-				out.Unis = append(s.unis, s.uni.Flush()...)
-				flow.SortUniflows(out.Unis)
-			} else {
-				out.Conns = append(s.cons, s.conn.Flush()...)
-				flow.SortConnections(out.Conns)
-			}
-			fenv[op.Output] = out
-			prof[i].Wall += time.Since(start)
-			continue
-		}
-		in := make([]Value, len(op.Input))
-		for j, name := range op.Input {
-			v, err := resolve(name)
-			if err != nil {
-				return nil, fmt.Errorf("core: op %d (%s): %w", i, op.Func, err)
-			}
-			in[j] = v
-		}
-		ctx := &opCtx{mode: mode, outName: op.Output, state: e.state, seed: e.Seed, metrics: e.Metrics}
-		if e.Span != nil {
-			ctx.span = e.Span.Child("op:" + op.Func)
-			ctx.span.Set("output", op.Output)
-		}
-		out, err := e.runOp(opRegistry[op.Func], ctx, op, in, &st)
-		st.Wall = time.Since(start)
-		if err == nil {
-			st.OutRows = outRows(out)
-		}
-		e.finishOp(ctx.span, &st, err)
-		if err != nil {
-			return nil, fmt.Errorf("core: op %d (%s -> %s): %w", i, op.Func, op.Output, err)
-		}
-		fenv[op.Output] = out
-		prof[i].Wall, prof[i].Allocs, prof[i].OutRows = st.Wall, st.Allocs, st.OutRows
-		if ctx.result != nil {
-			results = append(results, ctx.result)
-		}
-	}
-	e.Profile = append(e.Profile[:0], prof...)
-	if mode == ModeTrain {
-		e.trained = true
-	}
-	return mergeResults(results), nil
+	return r.finish()
 }
 
 // TrainStream fits the pipeline by streaming the dataset in bounded

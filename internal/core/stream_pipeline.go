@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lumen/internal/dataset"
+	"lumen/internal/obs"
+)
+
+// StreamStats describes the most recent RunStream execution of an
+// engine: how it ran and where its time and memory went.
+type StreamStats struct {
+	// Chunks is the number of chunks pulled from the source.
+	Chunks int
+	// Pipelined reports whether the staged pipeline ran (false: the
+	// sequential loop). Depth and Workers are its effective shape.
+	Pipelined bool
+	Depth     int
+	Workers   int
+	// PeakInFlightBytes is the high-water mark of wire bytes decoded but
+	// not yet released by the sink — the pipeline's actual buffering,
+	// bounded by O(Depth + Workers) chunks. Zero on sequential runs.
+	PeakInFlightBytes int64
+	// SourceStallNS / OpsStallNS / SinkStallNS are the cumulative times
+	// each stage spent blocked on its neighbours: the source handing
+	// chunks to a full queue, the op workers waiting for decode, and the
+	// sink waiting for the next processed chunk.
+	SourceStallNS int64
+	OpsStallNS    int64
+	SinkStallNS   int64
+	// HWMBytes is the live-heap high-water mark sampled at chunk
+	// boundaries (the lumen_stream_hwm_bytes gauge).
+	HWMBytes uint64
+}
+
+// runPipelined executes one RunStream pass as a staged, bounded-channel
+// pipeline:
+//
+//	source (goroutine)      decode chunks from the dataset.Source (Pump)
+//	   │  chan, cap = depth
+//	ops (N worker goroutines)  order-free row-local ops per chunk
+//	   │  chan, cap = depth + workers
+//	sink (this goroutine)   reorder by sequence, then carry-state ops,
+//	                        model scoring, flow sinks, accumulation
+//
+// Chunks fan out to the workers and are recombined in stream order by
+// the sink's reorder buffer, so results are bit-identical to the
+// sequential loop (and to batch). Both channels are depth-bounded and
+// the reorder buffer cannot exceed the in-flight chunk count, so peak
+// memory stays O((depth + workers) × chunk).
+func (r *streamExec) runPipelined(src dataset.Source, cfg StreamConfig) (*EvalResult, error) {
+	e := r.e
+	depth, workers := cfg.depth(), cfg.workers()
+	recycle := r.recycler(src) != nil
+	e.LastStream = StreamStats{Pipelined: true, Depth: depth, Workers: workers}
+
+	pump := dataset.StartPump(src, dataset.PumpConfig{
+		MaxRows:  cfg.ChunkRows,
+		MaxBytes: cfg.ChunkBytes,
+		Depth:    depth,
+		Recycle:  recycle,
+	})
+
+	// Stage spans render on their own tracks, next to the caller's:
+	// caller track + 1 is the source, + 2 + w each op worker; the sink
+	// stays on the caller's track (it is the caller's goroutine).
+	var srcSpan, sinkSpan *obs.Span
+	wSpans := make([]*obs.Span, workers)
+	if e.Span != nil {
+		t := e.Span.TID()
+		srcSpan = e.Span.ChildOn("stage:source", t+1)
+		for w := range wSpans {
+			wSpans[w] = e.Span.ChildOn("stage:ops", t+2+w)
+		}
+		sinkSpan = e.Span.Child("stage:sink")
+	}
+
+	jobs := make(chan *chunkJob, depth+workers)
+	done := make(chan struct{}) // closed by the sink on first error
+	var opsStallNS atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(stage *obs.Span) {
+			defer wg.Done()
+			for {
+				t0 := time.Now()
+				nc, ok := <-pump.C
+				opsStallNS.Add(time.Since(t0).Nanoseconds())
+				if !ok {
+					return
+				}
+				job := r.newJob(nc)
+				var cs *obs.Span
+				if stage != nil {
+					cs = stage.Child("chunk")
+					cs.Set("base", nc.Base)
+					cs.Set("rows", len(nc.Packets))
+				}
+				r.runOps(job, r.pl.worker, &job.wsc, cs)
+				if cs != nil {
+					cs.End()
+				}
+				select {
+				case jobs <- job:
+				case <-done:
+					pump.Done(job.nc)
+					return
+				}
+			}
+		}(wSpans[w])
+	}
+	go func() {
+		wg.Wait()
+		close(jobs)
+	}()
+
+	// Queue-depth gauges are sampled once per absorbed chunk.
+	var gDecoded, gProcessed *obs.Gauge
+	if e.Metrics != nil {
+		const help = "Chunks queued between pipeline stages of the most recent streaming run."
+		gDecoded = e.Metrics.Gauge("lumen_stage_queue_depth", help, "queue", "decoded")
+		gProcessed = e.Metrics.Gauge("lumen_stage_queue_depth", help, "queue", "processed")
+	}
+
+	var firstErr error
+	var sinkStallNS int64
+	pending := map[int]*chunkJob{}
+	next := 0
+	for {
+		t0 := time.Now()
+		job, ok := <-jobs
+		sinkStallNS += time.Since(t0).Nanoseconds()
+		if !ok {
+			break
+		}
+		pending[job.nc.Seq] = job
+		for {
+			j, ready := pending[next]
+			if !ready {
+				break
+			}
+			delete(pending, next)
+			next++
+			if firstErr == nil {
+				if gDecoded != nil {
+					gDecoded.Set(float64(len(pump.C)))
+					gProcessed.Set(float64(len(jobs)))
+				}
+				if err := r.sinkChunk(j, sinkSpan); err != nil {
+					// First in-order failure: identical to where the
+					// sequential loop would have stopped. Unwind the
+					// upstream stages; the loop keeps draining so no
+					// worker stays blocked on a full jobs channel.
+					firstErr = err
+					pump.Stop()
+					close(done)
+				}
+			}
+			pump.Done(j.nc)
+			putChunkJob(j)
+		}
+	}
+	// Jobs whose predecessors never arrived (workers unwound early).
+	for _, j := range pending {
+		pump.Done(j.nc)
+		putChunkJob(j)
+	}
+
+	ps := pump.Stats()
+	if e.Span != nil {
+		srcSpan.Set("chunks", ps.Chunks)
+		srcSpan.Set("stall_ns", ps.StallNS)
+		srcSpan.Set("peak_inflight_bytes", ps.PeakInFlightBytes)
+		srcSpan.End()
+		for _, s := range wSpans {
+			s.End()
+		}
+		sinkSpan.Set("stall_ns", sinkStallNS)
+		sinkSpan.End()
+	}
+	e.LastStream.PeakInFlightBytes = ps.PeakInFlightBytes
+	e.LastStream.SourceStallNS = ps.StallNS
+	e.LastStream.OpsStallNS = opsStallNS.Load()
+	e.LastStream.SinkStallNS = sinkStallNS
+	if e.Metrics != nil {
+		const help = "Cumulative seconds each pipeline stage of the most recent streaming run spent blocked on its neighbours."
+		e.Metrics.Gauge("lumen_stage_stall_seconds", help, "stage", "source").Set(float64(ps.StallNS) / 1e9)
+		e.Metrics.Gauge("lumen_stage_stall_seconds", help, "stage", "ops").Set(float64(opsStallNS.Load()) / 1e9)
+		e.Metrics.Gauge("lumen_stage_stall_seconds", help, "stage", "sink").Set(float64(sinkStallNS) / 1e9)
+	}
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := pump.Err(); err != nil {
+		return nil, fmt.Errorf("core: packet source: %w", err)
+	}
+	return r.finish()
+}
+
+// sinkChunk runs one in-order job through the sink stage: flow sinks,
+// the ordered streamed ops (with the shared cross-chunk carry), then
+// absorption into the run.
+func (r *streamExec) sinkChunk(j *chunkJob, stage *obs.Span) error {
+	if j.err == nil && (r.pl.nOrdered > 0 || len(r.sinks) > 0) {
+		var cs *obs.Span
+		if stage != nil {
+			cs = stage.Child("chunk")
+			cs.Set("base", j.nc.Base)
+			cs.Set("rows", len(j.nc.Packets))
+		}
+		r.feedSinks(j)
+		r.runOps(j, r.pl.ordered, r.sc, cs)
+		if cs != nil {
+			cs.End()
+		}
+	}
+	return r.absorb(j)
+}

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"bytes"
+	"runtime/debug"
+	"testing"
+	"time"
+
+	"lumen/internal/dataset"
+	"lumen/internal/pcap"
+)
+
+// slowSource delays every chunk pull, simulating a decode-bound source
+// (e.g. a cold disk) so the downstream stages stall on the bounded
+// channel. It hides the wrapped source's Labeled method on purpose.
+type slowSource struct {
+	inner dataset.Source
+	delay time.Duration
+}
+
+func (s *slowSource) Meta() dataset.SourceMeta { return s.inner.Meta() }
+
+func (s *slowSource) Next(maxRows, maxBytes int) (dataset.Chunk, bool) {
+	time.Sleep(s.delay)
+	return s.inner.Next(maxRows, maxBytes)
+}
+
+func (s *slowSource) Reset() error { return s.inner.Reset() }
+
+// maxChunkWire computes the largest wire-byte weight of any row-bounded
+// chunk window, the unit of the pipeline's O(depth × chunk) memory bound.
+func maxChunkWire(ds *dataset.Labeled, chunk int) int {
+	maxW := 0
+	for i := 0; i < len(ds.Packets); i += chunk {
+		end := i + chunk
+		if end > len(ds.Packets) {
+			end = len(ds.Packets)
+		}
+		w := 0
+		for _, p := range ds.Packets[i:end] {
+			w += p.WireLen()
+		}
+		if w > maxW {
+			maxW = w
+		}
+	}
+	return maxW
+}
+
+// TestStreamPipelineBackpressure is the issue's stress test: a slow
+// source (decode-bound) and a slow sink (ordered-op-bound kitsune fold)
+// both exercise backpressure on the bounded channels. The run must stay
+// bit-identical to sequential streaming, record stall time on the
+// starved side, and keep in-flight bytes bounded by O((depth + workers)
+// × chunk) — not trace size.
+func TestStreamPipelineBackpressure(t *testing.T) {
+	spec, ok := dataset.Get("P1")
+	if !ok {
+		t.Fatal("no dataset P1")
+	}
+	ds := spec.Generate(0.05)
+	p := kitsunePipeline()
+	// At least 16 chunks so several are in flight at every stage.
+	chunk := len(ds.Packets) / 16
+	if chunk < 4 {
+		t.Fatalf("dataset too small (%d packets) to stress the pipeline", len(ds.Packets))
+	}
+
+	ref := NewEngine(p)
+	ref.Seed = 7
+	if err := ref.TrainStream(ds, StreamConfig{ChunkRows: chunk}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.TestStream(ds, StreamConfig{ChunkRows: chunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name  string
+		delay time.Duration
+	}{
+		// The kitsune fold runs in the sink; with an instant source the
+		// sink is the bottleneck and the source stalls on the full queue.
+		{"slow-sink", 0},
+		// With a delayed source the ops/sink stages starve instead.
+		{"slow-source", 500 * time.Microsecond},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := StreamConfig{ChunkRows: chunk, PipelineDepth: 2, Workers: 2}
+			eng := NewEngine(p)
+			eng.Seed = 7
+			if err := eng.TrainStream(ds, StreamConfig{ChunkRows: chunk}); err != nil {
+				t.Fatal(err)
+			}
+			var src dataset.Source = dataset.NewSliceSource(ds)
+			if tc.delay > 0 {
+				src = &slowSource{inner: src, delay: tc.delay}
+			}
+			got, err := eng.RunStream(src, ModeTest, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireEqualResults(t, want, got, tc.name)
+
+			st := eng.LastStream
+			if !st.Pipelined || st.Chunks == 0 {
+				t.Fatalf("LastStream not populated: %+v", st)
+			}
+			if st.PeakInFlightBytes <= 0 {
+				t.Error("PeakInFlightBytes not tracked")
+			}
+			bound := int64(3*(cfg.PipelineDepth+cfg.Workers)+4) * int64(maxChunkWire(ds, chunk))
+			if st.PeakInFlightBytes > bound {
+				t.Errorf("in-flight bytes %d exceed O(depth×chunk) bound %d", st.PeakInFlightBytes, bound)
+			}
+			if tc.delay > 0 && st.OpsStallNS == 0 {
+				t.Error("slow source starved the op workers but OpsStallNS is zero")
+			}
+			if tc.delay == 0 && st.SourceStallNS == 0 {
+				t.Error("slow sink should have stalled the source but SourceStallNS is zero")
+			}
+		})
+	}
+}
+
+// TestStreamPipelineErrorEquivalence pins the failure contract: the
+// pipeline reports the same error as the sequential loop — the first
+// failing op in stream order, identically wrapped — regardless of which
+// worker hit it first.
+func TestStreamPipelineErrorEquivalence(t *testing.T) {
+	spec, ok := dataset.Get("P0")
+	if !ok {
+		t.Fatal("no dataset P0")
+	}
+	ds := spec.Generate(0.05)
+	p := &Pipeline{
+		Name:        "stream-bad-filter",
+		Granularity: "packet",
+		Ops: []OpSpec{
+			{Func: "field_extract", Input: []string{InputName}, Output: "X",
+				Params: map[string]any{"fields": []any{"len", "ttl"}}},
+			{Func: "filter", Input: []string{"X"}, Output: "Xf",
+				Params: map[string]any{"col": "no_such_column", "op": ">", "value": 0.0}},
+			{Func: "model", Output: "m", Params: map[string]any{"model_type": "decision_tree"}},
+			{Func: "train", Input: []string{"m", "Xf"}, Output: "fit"},
+		},
+	}
+	seq := NewEngine(p)
+	seqErr := seq.TrainStream(ds, StreamConfig{ChunkRows: 64})
+	if seqErr == nil {
+		t.Fatal("sequential run should have failed")
+	}
+	for _, shape := range []StreamConfig{
+		{ChunkRows: 64, PipelineDepth: 2},
+		{ChunkRows: 64, PipelineDepth: 4, Workers: 4},
+	} {
+		pe := NewEngine(p)
+		pipErr := pe.TrainStream(ds, shape)
+		if pipErr == nil {
+			t.Fatalf("pipelined run (depth %d, workers %d) should have failed", shape.PipelineDepth, shape.Workers)
+		}
+		if seqErr.Error() != pipErr.Error() {
+			t.Errorf("error mismatch (depth %d, workers %d):\nsequential: %v\npipelined:  %v",
+				shape.PipelineDepth, shape.Workers, seqErr, pipErr)
+		}
+	}
+}
+
+// TestStreamPipelinedEmptyDataset mirrors TestStreamEmptyDataset for the
+// staged pipeline: an empty trace fails exactly like batch.
+func TestStreamPipelinedEmptyDataset(t *testing.T) {
+	ds := &dataset.Labeled{Name: "empty", Granularity: dataset.Packet}
+	p := fieldPipeline()
+	be := NewEngine(p)
+	_, berr := be.run(ds, ModeTrain)
+	se := NewEngine(p)
+	serr := se.TrainStream(ds, StreamConfig{ChunkRows: 64, PipelineDepth: 2, Workers: 2})
+	if (berr == nil) != (serr == nil) {
+		t.Fatalf("batch err %v vs pipelined err %v", berr, serr)
+	}
+	if berr != nil && serr != nil && berr.Error() != serr.Error() {
+		t.Fatalf("error mismatch:\nbatch:     %v\npipelined: %v", berr, serr)
+	}
+}
+
+// noRecycleSource hides the wrapped source's Recycler so a run over the
+// same capture allocates every packet buffer fresh (the comparison
+// baseline for the pooling regression test).
+type noRecycleSource struct {
+	inner *dataset.PcapSource
+}
+
+func (s *noRecycleSource) Meta() dataset.SourceMeta { return s.inner.Meta() }
+
+func (s *noRecycleSource) Next(maxRows, maxBytes int) (dataset.Chunk, bool) {
+	return s.inner.Next(maxRows, maxBytes)
+}
+
+func (s *noRecycleSource) Reset() error { return s.inner.Reset() }
+
+func (s *noRecycleSource) Err() error { return s.inner.Err() }
+
+// TestStreamPooledChunkAllocs is the allocation regression test for the
+// buffer pool chain (pcap → dataset → core): with a recycling source and
+// a fully streamed pipeline, steady-state packet buffers come from the
+// pool, so a pass over the capture must allocate markedly less than the
+// same pass with recycling hidden — the wire bytes no longer hit the
+// allocator per chunk.
+func TestStreamPooledChunkAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts at random under the race detector; allocation thresholds do not hold")
+	}
+	spec, ok := dataset.Get("P0")
+	if !ok {
+		t.Fatal("no dataset P0")
+	}
+	ds := spec.Generate(0.1)
+	var buf bytes.Buffer
+	w, err := pcap.NewWriter(&buf, ds.Link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ds.Packets {
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	br, err := pcap.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := br.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := 0
+	for _, p := range decoded {
+		wire += p.WireLen()
+	}
+	// ~40 chunks regardless of trace scale, so most chunks run against a
+	// warmed pool even with several chunks in flight.
+	chunk := len(decoded)/40 + 1
+
+	// No iat: the whole test pass fans out to workers and retains nothing,
+	// which is exactly the recycling-eligible shape.
+	p := &Pipeline{
+		Name:        "stream-pool",
+		Granularity: "packet",
+		Ops: []OpSpec{
+			{Func: "field_extract", Input: []string{InputName}, Output: "X",
+				Params: map[string]any{"fields": []any{"len", "ttl", "dst_port"}}},
+			{Func: "model", Output: "m", Params: map[string]any{"model_type": "decision_tree", "max_depth": 6}},
+			{Func: "train", Input: []string{"m", "X"}, Output: "fit"},
+		},
+	}
+	eng := NewEngine(p)
+	eng.Seed = 7
+	if err := eng.Train(ds); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pools (packet buffers, chunk jobs) start empty, so the first
+	// pass over a capture allocates everything regardless of recycling.
+	// Warm each source with one pass, then measure the steady-state pass.
+	// GC stays off during measurement so sync.Pool contents are not
+	// trimmed mid-comparison.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	run := func(cfg StreamConfig, hide bool) (uint64, *EvalResult, *dataset.PcapSource) {
+		ps, err := dataset.NewPcapSource("mem.pcap", bytes.NewReader(raw), dataset.Packet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var src dataset.Source = ps
+		if hide {
+			src = &noRecycleSource{inner: ps}
+		}
+		if _, err := eng.RunStream(src, ModeTest, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if err := ps.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		before := heapAllocBytes()
+		res, err := eng.RunStream(src, ModeTest, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return heapAllocBytes() - before, res, ps
+	}
+
+	seqCfg := StreamConfig{ChunkRows: chunk}
+	pipeCfg := StreamConfig{ChunkRows: chunk, PipelineDepth: 2, Workers: 2}
+
+	pooledB, pooledRes, ps := run(seqCfg, false)
+	freshB, freshRes, _ := run(seqCfg, true)
+	pipeB, pipeRes, _ := run(pipeCfg, false)
+
+	requireEqualResults(t, pooledRes, freshRes, "pooled vs fresh")
+	requireEqualResults(t, pooledRes, pipeRes, "pooled vs pipelined")
+
+	gets, reuses := ps.PoolStats()
+	if gets == 0 {
+		t.Fatal("pool never used")
+	}
+	if reuses < gets/2 {
+		t.Errorf("pool reuse too low: %d of %d buffer requests served from pool", reuses, gets)
+	}
+	if pooledB >= freshB {
+		t.Errorf("recycling did not reduce allocations: pooled %d B >= fresh %d B", pooledB, freshB)
+	}
+	if saved := int64(freshB) - int64(pooledB); saved < int64(wire)/2 {
+		t.Errorf("recycling saved only %d B of %d wire bytes; pooled chunk buffers are not being reused", saved, wire)
+	}
+	if pipeB >= freshB {
+		t.Errorf("pipelined recycling did not reduce allocations: %d B >= fresh %d B", pipeB, freshB)
+	}
+}

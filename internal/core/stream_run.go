@@ -1,0 +1,391 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lumen/internal/dataset"
+	"lumen/internal/flow"
+	"lumen/internal/obs"
+)
+
+// streamExec is the state of one RunStream execution, shared between the
+// sequential loop and the staged pipeline. The per-chunk work lives in
+// chunkJob so that the pipeline can fan it out to workers; everything on
+// streamExec itself is only ever touched by one goroutine at a time (the
+// sequential loop, or the sink stage absorbing jobs in stream order).
+type streamExec struct {
+	e    *Engine
+	mode Mode
+	pl   *streamPlan
+	meta dataset.SourceMeta
+	// sc carries cross-chunk fold state for the ordered ops; only the
+	// goroutine that runs them (sequential loop / sink stage) touches it.
+	sc    *streamCtx
+	sinks map[int]*flowSinkState
+	prof  []OpStats
+
+	accum   map[string][]*Frame
+	lastVal map[string]Value
+	results []*EvalResult
+	hwm     uint64
+
+	// accDS accumulates the full packet set when the plan needs it and
+	// the source cannot hand over a materialized dataset.
+	accDS      *dataset.Labeled
+	lsrc       labeledSource
+	hasLabeled bool
+	nChunks    int
+}
+
+// newStreamExec validates the pipeline and sets up the plan, flow sinks,
+// profile and accumulators of one RunStream pass.
+func newStreamExec(e *Engine, src dataset.Source, mode Mode) (*streamExec, error) {
+	if err := e.Check(); err != nil {
+		return nil, err
+	}
+	r := &streamExec{
+		e:       e,
+		mode:    mode,
+		pl:      e.planStream(mode),
+		meta:    src.Meta(),
+		sc:      &streamCtx{carry: map[string]any{}},
+		sinks:   map[int]*flowSinkState{},
+		accum:   map[string][]*Frame{},
+		lastVal: map[string]Value{},
+	}
+	for i, op := range e.P.Ops {
+		if !r.pl.flowSink[i] {
+			continue
+		}
+		opts, gran, err := flowParams(params(op.Params))
+		if err != nil {
+			return nil, fmt.Errorf("core: op %d (%s -> %s): %w", i, op.Func, op.Output, err)
+		}
+		s := &flowSinkState{gran: gran}
+		if gran == dataset.UniflowG {
+			s.uni = flow.NewUniflowAssembler(opts)
+		} else {
+			s.conn = flow.NewConnAssembler(opts)
+		}
+		r.sinks[i] = s
+	}
+	r.prof = make([]OpStats, len(e.P.Ops))
+	for i, op := range e.P.Ops {
+		r.prof[i] = OpStats{Func: op.Func, Output: op.Output}
+	}
+	r.lsrc, r.hasLabeled = src.(labeledSource)
+	if r.pl.needPackets && !r.hasLabeled {
+		r.accDS = &dataset.Labeled{
+			Name:        r.meta.Name,
+			Granularity: r.meta.Granularity,
+			Link:        r.meta.Link,
+			Devices:     r.meta.Devices,
+		}
+	}
+	return r, nil
+}
+
+// recycler returns the source's Recycler when finished chunks may safely
+// be handed back for buffer reuse: nothing retained across chunks may
+// alias the chunk's packets. Accumulated frames are copies, but the full
+// packet set (needPackets) and any accumulated packet-kind value alias
+// the chunk directly, so either disables recycling.
+func (r *streamExec) recycler(src dataset.Source) dataset.Recycler {
+	if r.pl.needPackets {
+		return nil
+	}
+	for i, op := range r.e.P.Ops {
+		if r.pl.streamed[i] && r.pl.accum[op.Output] && opRegistry[op.Func].sig.out == KindPackets {
+			return nil
+		}
+	}
+	rec, _ := src.(dataset.Recycler)
+	return rec
+}
+
+// chunkJob is the unit of work flowing through a stream run: one chunk,
+// its per-chunk dataset view and value environment, and everything its
+// ops produced. Jobs are pooled; newJob / putChunkJob bound steady-state
+// allocations per chunk.
+type chunkJob struct {
+	nc  dataset.NumberedChunk
+	cds *dataset.Labeled
+	env map[string]Value
+	// stats is indexed by op; only executed ops write their entry.
+	stats   []OpStats
+	results []*EvalResult
+	err     error
+	// wsc is the job-local stream context used on parallel workers. Ops
+	// that fan out never depend on cross-chunk fold state, but some
+	// (field_extract without iat) still save it; writing into a
+	// discardable job-local carry keeps them race-free.
+	wsc streamCtx
+}
+
+var chunkJobPool = sync.Pool{New: func() any { return new(chunkJob) }}
+
+// newJob readies a pooled job for one chunk.
+func (r *streamExec) newJob(nc dataset.NumberedChunk) *chunkJob {
+	j := chunkJobPool.Get().(*chunkJob)
+	j.nc = nc
+	// cds is allocated fresh: op outputs of packet kind may retain it
+	// beyond the job's lifetime.
+	j.cds = &dataset.Labeled{
+		Name:        r.meta.Name,
+		Granularity: r.meta.Granularity,
+		Link:        r.meta.Link,
+		Devices:     r.meta.Devices,
+		Packets:     nc.Packets,
+		Labels:      nc.Labels,
+		Attacks:     nc.Attacks,
+	}
+	if j.env == nil {
+		j.env = make(map[string]Value, len(r.e.P.Ops)+1)
+	} else {
+		clear(j.env)
+	}
+	j.env[InputName] = Packets{DS: j.cds}
+	if cap(j.stats) < len(r.e.P.Ops) {
+		j.stats = make([]OpStats, len(r.e.P.Ops))
+	} else {
+		j.stats = j.stats[:len(r.e.P.Ops)]
+		clear(j.stats)
+	}
+	j.results = j.results[:0]
+	j.err = nil
+	if j.wsc.carry == nil {
+		j.wsc.carry = map[string]any{}
+	} else {
+		clear(j.wsc.carry)
+	}
+	j.wsc.base = nc.Base
+	return j
+}
+
+// putChunkJob returns a job to the pool once nothing references it.
+func putChunkJob(j *chunkJob) {
+	j.nc = dataset.NumberedChunk{}
+	j.cds = nil
+	clear(j.env)
+	for i := range j.results {
+		j.results[i] = nil
+	}
+	chunkJobPool.Put(j)
+}
+
+// feedSinks pushes the job's packets through every incremental flow
+// assembler. Only the goroutine that owns stream order may call it.
+func (r *streamExec) feedSinks(job *chunkJob) {
+	if len(r.sinks) == 0 {
+		return
+	}
+	for i := range r.e.P.Ops {
+		s, ok := r.sinks[i]
+		if !ok {
+			continue
+		}
+		for j, p := range job.nc.Packets {
+			if s.uni != nil {
+				s.unis = append(s.unis, s.uni.Add(job.nc.Base+j, p)...)
+			} else {
+				s.cons = append(s.cons, s.conn.Add(job.nc.Base+j, p)...)
+			}
+		}
+	}
+}
+
+// runOps executes the picked ops over the job's environment, recording
+// per-op stats and any evaluation results on the job. A failing op stores
+// its wrapped error in job.err and stops the job. sc supplies the chunk
+// base and cross-chunk carry: the shared ordered context, or the job's
+// own when running on a parallel worker.
+func (r *streamExec) runOps(job *chunkJob, pick []bool, sc *streamCtx, chunkSpan *obs.Span) {
+	if job.err != nil {
+		return
+	}
+	e := r.e
+	sc.base = job.nc.Base
+	for i, op := range e.P.Ops {
+		if !pick[i] {
+			continue
+		}
+		in := make([]Value, len(op.Input))
+		for j, name := range op.Input {
+			v, ok := job.env[name]
+			if !ok {
+				job.err = fmt.Errorf("core: op %d (%s): value %q was freed or never set", i, op.Func, name)
+				return
+			}
+			in[j] = v
+		}
+		ctx := &opCtx{mode: r.mode, outName: op.Output, state: e.state, seed: e.Seed, metrics: e.Metrics, stream: sc}
+		if chunkSpan != nil {
+			ctx.span = chunkSpan.Child("op:" + op.Func)
+			ctx.span.Set("output", op.Output)
+		}
+		st := OpStats{Func: op.Func, Output: op.Output}
+		start := time.Now()
+		out, err := e.runOp(opRegistry[op.Func], ctx, op, in, &st)
+		st.Wall = time.Since(start)
+		if err == nil {
+			st.OutRows = outRows(out)
+		}
+		e.finishOp(ctx.span, &st, err)
+		if err != nil {
+			job.err = fmt.Errorf("core: op %d (%s -> %s): %w", i, op.Func, op.Output, err)
+			return
+		}
+		job.stats[i] = st
+		job.env[op.Output] = out
+		if ctx.result != nil {
+			job.results = append(job.results, ctx.result)
+		}
+	}
+}
+
+// absorb folds one finished job into the run, in stream order: profile
+// stats, evaluation results, accumulated frames for deferred ops, and
+// the full packet set when the plan needs it. It returns the job's error
+// (the stream must abort on it, exactly like sequential execution).
+func (r *streamExec) absorb(job *chunkJob) error {
+	if job.err != nil {
+		return job.err
+	}
+	if r.accDS != nil {
+		r.accDS.Packets = append(r.accDS.Packets, job.nc.Packets...)
+		if job.nc.Labels != nil {
+			r.accDS.Labels = append(r.accDS.Labels, job.nc.Labels...)
+		}
+		if job.nc.Attacks != nil {
+			r.accDS.Attacks = append(r.accDS.Attacks, job.nc.Attacks...)
+		}
+	}
+	for i := range job.stats {
+		r.prof[i].Wall += job.stats[i].Wall
+		r.prof[i].Allocs += job.stats[i].Allocs
+		r.prof[i].OutRows += job.stats[i].OutRows
+	}
+	r.results = append(r.results, job.results...)
+	for name := range r.pl.accum {
+		v, ok := job.env[name]
+		if !ok {
+			continue
+		}
+		if fr, isFrame := v.(*Frame); isFrame {
+			r.accum[name] = append(r.accum[name], fr)
+		} else {
+			r.lastVal[name] = v
+		}
+	}
+	r.nChunks++
+	if live := heapLiveBytes(); live > r.hwm {
+		r.hwm = live
+	}
+	if r.e.Metrics != nil {
+		r.e.Metrics.Counter("lumen_chunks_total",
+			"Chunks pulled from packet sources by streaming runs.").Inc()
+	}
+	return nil
+}
+
+// finish runs the deferred (barrier) suffix with batch semantics over
+// the accumulated state and assembles the final result.
+func (r *streamExec) finish() (*EvalResult, error) {
+	e := r.e
+	if e.Metrics != nil {
+		e.Metrics.Gauge("lumen_stream_hwm_bytes",
+			"Live-heap high-water mark observed at chunk boundaries of the most recent streaming run.").Set(float64(r.hwm))
+	}
+	var fullDS *dataset.Labeled
+	if r.pl.needPackets {
+		if r.hasLabeled {
+			fullDS = r.lsrc.Labeled()
+		} else {
+			fullDS = r.accDS
+		}
+	}
+
+	// Flush: run deferred ops in op order with batch semantics over the
+	// concatenated accumulations.
+	fenv := map[string]Value{}
+	concatenated := map[string]*Frame{}
+	resolve := func(name string) (Value, error) {
+		if v, ok := fenv[name]; ok {
+			return v, nil
+		}
+		if fr, ok := concatenated[name]; ok {
+			return fr, nil
+		}
+		if parts, ok := r.accum[name]; ok {
+			fr, err := concatFrames(parts)
+			if err != nil {
+				return nil, err
+			}
+			concatenated[name] = fr
+			return fr, nil
+		}
+		if v, ok := r.lastVal[name]; ok {
+			return v, nil
+		}
+		if name == InputName {
+			return Packets{DS: fullDS}, nil
+		}
+		return nil, fmt.Errorf("value %q was freed or never set", name)
+	}
+	for i, op := range e.P.Ops {
+		if r.pl.streamed[i] {
+			continue
+		}
+		st := OpStats{Func: op.Func, Output: op.Output}
+		start := time.Now()
+		if s, ok := r.sinks[i]; ok {
+			out := &Flows{DS: fullDS, Granularity: s.gran}
+			if s.uni != nil {
+				out.Unis = append(s.unis, s.uni.Flush()...)
+				flow.SortUniflows(out.Unis)
+			} else {
+				out.Conns = append(s.cons, s.conn.Flush()...)
+				flow.SortConnections(out.Conns)
+			}
+			fenv[op.Output] = out
+			r.prof[i].Wall += time.Since(start)
+			continue
+		}
+		in := make([]Value, len(op.Input))
+		for j, name := range op.Input {
+			v, err := resolve(name)
+			if err != nil {
+				return nil, fmt.Errorf("core: op %d (%s): %w", i, op.Func, err)
+			}
+			in[j] = v
+		}
+		ctx := &opCtx{mode: r.mode, outName: op.Output, state: e.state, seed: e.Seed, metrics: e.Metrics}
+		if e.Span != nil {
+			ctx.span = e.Span.Child("op:" + op.Func)
+			ctx.span.Set("output", op.Output)
+		}
+		out, err := e.runOp(opRegistry[op.Func], ctx, op, in, &st)
+		st.Wall = time.Since(start)
+		if err == nil {
+			st.OutRows = outRows(out)
+		}
+		e.finishOp(ctx.span, &st, err)
+		if err != nil {
+			return nil, fmt.Errorf("core: op %d (%s -> %s): %w", i, op.Func, op.Output, err)
+		}
+		fenv[op.Output] = out
+		r.prof[i].Wall, r.prof[i].Allocs, r.prof[i].OutRows = st.Wall, st.Allocs, st.OutRows
+		if ctx.result != nil {
+			r.results = append(r.results, ctx.result)
+		}
+	}
+	e.Profile = append(e.Profile[:0], r.prof...)
+	e.LastStream.Chunks = r.nChunks
+	e.LastStream.HWMBytes = r.hwm
+	if r.mode == ModeTrain {
+		e.trained = true
+	}
+	return mergeResults(r.results), nil
+}

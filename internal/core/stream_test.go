@@ -12,6 +12,15 @@ import (
 // large chunks, and whole-trace-as-one-chunk.
 var streamChunkSizes = []int{64, 1024, 0}
 
+// streamExecShapes are the execution shapes every equivalence case runs
+// under: the sequential loop, single-worker pipelining (decode overlaps
+// ops), and parallel worker fan-out with ordered recombination.
+var streamExecShapes = []StreamConfig{
+	{},
+	{PipelineDepth: 2},
+	{PipelineDepth: 4, Workers: 4},
+}
+
 func flowPipeline(model string, extra map[string]any) *Pipeline {
 	mp := map[string]any{"model_type": model}
 	for k, v := range extra {
@@ -136,23 +145,39 @@ func batchRun(t *testing.T, p *Pipeline, ds *dataset.Labeled) *EvalResult {
 	return res
 }
 
-// streamRun trains and tests p over ds with the chunked engine.
+// streamRun trains and tests p over ds with the chunked engine, once per
+// execution shape. All shapes must agree bit-for-bit; the sequential
+// result is returned (callers compare it against batch, which pins every
+// shape transitively).
 func streamRun(t *testing.T, p *Pipeline, ds *dataset.Labeled, chunk int) *EvalResult {
 	t.Helper()
-	eng := NewEngine(p)
-	eng.Seed = 7
-	cfg := StreamConfig{ChunkRows: chunk}
-	if err := eng.TrainStream(ds, cfg); err != nil {
-		t.Fatalf("stream train (chunk %d): %v", chunk, err)
+	var seq *EvalResult
+	for _, shape := range streamExecShapes {
+		cfg := shape
+		cfg.ChunkRows = chunk
+		label := fmt.Sprintf("chunk %d, depth %d, workers %d", chunk, cfg.PipelineDepth, cfg.Workers)
+		eng := NewEngine(p)
+		eng.Seed = 7
+		if err := eng.TrainStream(ds, cfg); err != nil {
+			t.Fatalf("stream train (%s): %v", label, err)
+		}
+		res, err := eng.TestStream(ds, cfg)
+		if err != nil {
+			t.Fatalf("stream test (%s): %v", label, err)
+		}
+		if len(eng.Profile) != len(p.Ops) {
+			t.Fatalf("stream profile has %d entries, want %d", len(eng.Profile), len(p.Ops))
+		}
+		if got, want := eng.LastStream.Pipelined, shape.pipelined(); got != want {
+			t.Fatalf("LastStream.Pipelined = %v, want %v (%s)", got, want, label)
+		}
+		if seq == nil {
+			seq = res
+		} else {
+			requireEqualResults(t, seq, res, label+" vs sequential")
+		}
 	}
-	res, err := eng.TestStream(ds, cfg)
-	if err != nil {
-		t.Fatalf("stream test (chunk %d): %v", chunk, err)
-	}
-	if len(eng.Profile) != len(p.Ops) {
-		t.Fatalf("stream profile has %d entries, want %d", len(eng.Profile), len(p.Ops))
-	}
-	return res
+	return seq
 }
 
 func requireEqualResults(t *testing.T, batch, stream *EvalResult, label string) {
@@ -320,21 +345,24 @@ func TestStreamEmptyFinalChunk(t *testing.T) {
 	p := fieldPipeline()
 	want := batchRun(t, p, ds)
 
-	eng := NewEngine(p)
-	eng.Seed = 7
-	cfg := StreamConfig{ChunkRows: 64}
-	src := &emptyTailSource{inner: dataset.NewSliceSource(ds), n: len(ds.Packets)}
-	if _, err := eng.RunStream(src, ModeTrain, cfg); err != nil {
-		t.Fatal(err)
+	for _, shape := range streamExecShapes {
+		cfg := shape
+		cfg.ChunkRows = 64
+		eng := NewEngine(p)
+		eng.Seed = 7
+		src := &emptyTailSource{inner: dataset.NewSliceSource(ds), n: len(ds.Packets)}
+		if _, err := eng.RunStream(src, ModeTrain, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if err := src.Reset(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.RunStream(src, ModeTest, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireEqualResults(t, want, got, fmt.Sprintf("empty-final-chunk depth=%d workers=%d", cfg.PipelineDepth, cfg.Workers))
 	}
-	if err := src.Reset(); err != nil {
-		t.Fatal(err)
-	}
-	got, err := eng.RunStream(src, ModeTest, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	requireEqualResults(t, want, got, "empty-final-chunk")
 }
 
 // TestStreamEmptyDataset: a stream with no packets must behave like batch
@@ -361,17 +389,20 @@ func TestStreamByteBound(t *testing.T) {
 	p := fieldPipeline()
 	want := batchRun(t, p, ds)
 
-	eng := NewEngine(p)
-	eng.Seed = 7
-	cfg := StreamConfig{ChunkBytes: 4096}
-	if err := eng.TrainStream(ds, cfg); err != nil {
-		t.Fatal(err)
+	for _, shape := range streamExecShapes {
+		cfg := shape
+		cfg.ChunkBytes = 4096
+		eng := NewEngine(p)
+		eng.Seed = 7
+		if err := eng.TrainStream(ds, cfg); err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.TestStream(ds, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireEqualResults(t, want, got, fmt.Sprintf("byte-bound depth=%d workers=%d", cfg.PipelineDepth, cfg.Workers))
 	}
-	got, err := eng.TestStream(ds, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	requireEqualResults(t, want, got, "byte-bound")
 }
 
 // TestTestStreamBeforeTrain mirrors the batch contract.

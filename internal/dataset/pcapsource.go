@@ -18,6 +18,7 @@ type PcapSource struct {
 	r    *pcap.Reader
 	gran Granularity
 	base int
+	pool *pcap.BufferPool
 	// emitted tracks the at-least-one-chunk contract for empty captures.
 	emitted bool
 	done    bool
@@ -26,13 +27,33 @@ type PcapSource struct {
 
 // NewPcapSource opens a capture for chunked streaming. rs must be
 // positioned at the pcap global header; it is retained for Reset.
+// The source carries a buffer pool: consumers that fully process a chunk
+// without retaining its packets may hand it back with Recycle, and the
+// decoder reuses the buffers for later chunks.
 func NewPcapSource(name string, rs io.ReadSeeker, gran Granularity) (*PcapSource, error) {
 	r, err := pcap.NewReader(rs)
 	if err != nil {
 		return nil, err
 	}
-	return &PcapSource{name: name, rs: rs, r: r, gran: gran}, nil
+	pool := pcap.NewBufferPool()
+	r.SetBufferPool(pool)
+	return &PcapSource{name: name, rs: rs, r: r, gran: gran, pool: pool}, nil
 }
+
+// Recycle implements Recycler: it returns ck's packet data buffers and
+// packet slice to the decoder's pool. The caller must not touch ck (or
+// anything aliasing its packets' Data/Payload) afterwards. Safe to call
+// concurrently with Next — a pipelined sink recycles chunks while the
+// source goroutine decodes ahead.
+func (p *PcapSource) Recycle(ck Chunk) {
+	for _, pkt := range ck.Packets {
+		p.pool.PutData(pkt.Data)
+	}
+	p.pool.PutPkts(ck.Packets)
+}
+
+// PoolStats reports the decode buffer pool's request/reuse counters.
+func (p *PcapSource) PoolStats() (gets, reuses uint64) { return p.pool.Stats() }
 
 // Meta implements Source.
 func (p *PcapSource) Meta() SourceMeta {
@@ -76,7 +97,8 @@ func (p *PcapSource) Next(maxRows, maxBytes int) (Chunk, bool) {
 func (p *PcapSource) Err() error { return p.err }
 
 // Reset implements Source: it seeks back to the capture start and
-// re-parses the global header.
+// re-parses the global header. The buffer pool (with whatever it
+// accumulated) carries over to the new pass.
 func (p *PcapSource) Reset() error {
 	if _, err := p.rs.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("dataset: rewinding pcap source: %w", err)
@@ -85,6 +107,7 @@ func (p *PcapSource) Reset() error {
 	if err != nil {
 		return err
 	}
+	r.SetBufferPool(p.pool)
 	p.r = r
 	p.base, p.emitted, p.done, p.err = 0, false, false, nil
 	return nil

@@ -1,0 +1,165 @@
+package dataset
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Recycler is implemented by sources whose chunks can be handed back for
+// buffer reuse once the consumer is completely done with them (no packet,
+// Data or Payload reference retained). PcapSource implements it; the
+// zero-copy view sources (SliceSource, GenSource) do not, since their
+// chunks alias the materialized dataset.
+type Recycler interface {
+	Recycle(Chunk)
+}
+
+// NumberedChunk is a chunk with its position in the stream, as emitted by
+// a Pump. Seq starts at 0 and increments by one per chunk, so consumers
+// that fan chunks out to parallel workers can recombine results in stream
+// order.
+type NumberedChunk struct {
+	Seq int
+	Chunk
+}
+
+// PumpConfig shapes a Pump.
+type PumpConfig struct {
+	// MaxRows / MaxBytes bound each chunk (Source.Next semantics).
+	MaxRows  int
+	MaxBytes int
+	// Depth is the channel buffer: how many decoded chunks may sit
+	// between the source goroutine and the consumer (minimum 1).
+	Depth int
+	// Recycle hands consumed chunks back to the source for buffer reuse
+	// when the source implements Recycler. Enable only when the consumer
+	// retains nothing from a chunk after calling Done on it.
+	Recycle bool
+}
+
+// PumpStats summarizes a pump's activity so far.
+type PumpStats struct {
+	// Chunks is the number of chunks emitted.
+	Chunks int
+	// PeakInFlightBytes is the high-water mark of wire bytes decoded but
+	// not yet released with Done — the pump's actual buffering, bounded
+	// by O(Depth + consumer lag) chunks.
+	PeakInFlightBytes int64
+	// StallNS is the cumulative time the source goroutine spent blocked
+	// handing chunks to a slower consumer.
+	StallNS int64
+}
+
+// Pump is the pipelined source stage: a goroutine that pulls chunks from
+// a Source and hands them to the consumer through a bounded channel, so
+// decode overlaps with downstream work while peak memory stays
+// O(Depth × chunk). Create one with StartPump, range over C, and call
+// Done on each chunk when finished with it (Done drives both the
+// in-flight byte accounting and, when enabled, buffer recycling).
+type Pump struct {
+	// C delivers chunks in stream order and is closed at end of stream
+	// (or after Stop).
+	C <-chan NumberedChunk
+
+	src      Source
+	rec      Recycler // nil when recycling is off
+	quit     chan struct{}
+	stopped  atomic.Bool
+	chunks   atomic.Int64
+	inFlight atomic.Int64
+	peak     atomic.Int64
+	stallNS  atomic.Int64
+}
+
+// StartPump launches the source goroutine. The source must not be used
+// by anyone else until C closes.
+func StartPump(src Source, cfg PumpConfig) *Pump {
+	depth := cfg.Depth
+	if depth < 1 {
+		depth = 1
+	}
+	ch := make(chan NumberedChunk, depth)
+	p := &Pump{C: ch, src: src, quit: make(chan struct{})}
+	if cfg.Recycle {
+		p.rec, _ = src.(Recycler)
+	}
+	go func() {
+		defer close(ch)
+		seq := 0
+		for {
+			ck, ok := src.Next(cfg.MaxRows, cfg.MaxBytes)
+			if !ok {
+				return
+			}
+			p.chunks.Add(1)
+			p.addInFlight(int64(wireBytes(ck)))
+			start := time.Now()
+			select {
+			case ch <- NumberedChunk{Seq: seq, Chunk: ck}:
+			case <-p.quit:
+				return
+			}
+			p.stallNS.Add(time.Since(start).Nanoseconds())
+			seq++
+		}
+	}()
+	return p
+}
+
+// addInFlight adjusts the in-flight byte count and maintains the peak.
+func (p *Pump) addInFlight(d int64) {
+	v := p.inFlight.Add(d)
+	for {
+		cur := p.peak.Load()
+		if v <= cur || p.peak.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Done releases one delivered chunk: its bytes leave the in-flight
+// account and, when recycling is on, its buffers return to the source's
+// pool. Call it exactly once per chunk received from C, from any
+// goroutine, only when nothing references the chunk's packets anymore.
+func (p *Pump) Done(ck NumberedChunk) {
+	p.addInFlight(-int64(wireBytes(ck.Chunk)))
+	if p.rec != nil {
+		p.rec.Recycle(ck.Chunk)
+	}
+}
+
+// Stop aborts the source goroutine early (e.g. when the consumer hit an
+// error). C still gets closed; chunks already buffered in C are not
+// drained — the consumer should keep receiving until C closes.
+func (p *Pump) Stop() {
+	if p.stopped.CompareAndSwap(false, true) {
+		close(p.quit)
+	}
+}
+
+// Err reports the error that ended the stream, if the source exposes one
+// (PcapSource does). Valid once C has closed.
+func (p *Pump) Err() error {
+	if es, ok := p.src.(interface{ Err() error }); ok {
+		return es.Err()
+	}
+	return nil
+}
+
+// Stats snapshots the pump's counters; safe to call concurrently.
+func (p *Pump) Stats() PumpStats {
+	return PumpStats{
+		Chunks:            int(p.chunks.Load()),
+		PeakInFlightBytes: p.peak.Load(),
+		StallNS:           p.stallNS.Load(),
+	}
+}
+
+// wireBytes sums the on-wire sizes of a chunk's packets.
+func wireBytes(ck Chunk) int {
+	n := 0
+	for _, p := range ck.Packets {
+		n += p.WireLen()
+	}
+	return n
+}

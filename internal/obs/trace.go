@@ -106,6 +106,15 @@ func (s *Span) ChildOn(name string, tid int) *Span {
 	return &Span{t: s.t, id: s.t.nextID.Add(1), parent: s.id, tid: tid, name: name, start: time.Now()}
 }
 
+// TID reports the track this span renders on, so callers can derive
+// adjacent tracks for fan-out children (0 for a nil span).
+func (s *Span) TID() int {
+	if s == nil {
+		return 0
+	}
+	return s.tid
+}
+
 // Set attaches an attribute, overwriting any earlier value for key.
 func (s *Span) Set(key string, v any) {
 	if s == nil {

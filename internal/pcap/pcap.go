@@ -11,10 +11,85 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"lumen/internal/netpkt"
 )
+
+// BufferPool recycles packet data buffers and chunk packet slices across
+// reads, cutting the two per-packet/per-chunk allocations of the decode
+// hot loop (the record copy in Reader.Next and the slice growth in
+// ReadChunk). It is safe for concurrent use: a streaming consumer may
+// return finished chunks from one goroutine while the decoder pulls
+// buffers from another.
+//
+// Returning a buffer whose packet is still referenced anywhere corrupts
+// that packet, so only the owner of the full chunk lifecycle (e.g.
+// dataset.PcapSource.Recycle) should call the Put methods.
+type BufferPool struct {
+	data sync.Pool // *[]byte, capacity varies
+	pkts sync.Pool // *[]*netpkt.Packet
+
+	gets   atomic.Uint64
+	reuses atomic.Uint64
+}
+
+// NewBufferPool returns an empty pool.
+func NewBufferPool() *BufferPool { return &BufferPool{} }
+
+// getData returns a zeroed-length buffer with capacity >= n, reusing a
+// pooled one when it is large enough.
+func (p *BufferPool) getData(n int) []byte {
+	p.gets.Add(1)
+	if b, ok := p.data.Get().(*[]byte); ok && b != nil {
+		if cap(*b) >= n {
+			p.reuses.Add(1)
+			return (*b)[:n]
+		}
+		// Too small for this record; a capture's larger packets would
+		// otherwise starve the pool, so drop it and allocate fresh.
+	}
+	return make([]byte, n)
+}
+
+// PutData returns one packet data buffer to the pool.
+func (p *BufferPool) PutData(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	p.data.Put(&b)
+}
+
+// getPkts returns an empty packet slice, reusing a pooled backing array.
+func (p *BufferPool) getPkts() []*netpkt.Packet {
+	if s, ok := p.pkts.Get().(*[]*netpkt.Packet); ok && s != nil {
+		return (*s)[:0]
+	}
+	return nil
+}
+
+// PutPkts returns a chunk's packet slice to the pool. The pointers are
+// cleared so pooled backing arrays do not pin dead packets.
+func (p *BufferPool) PutPkts(s []*netpkt.Packet) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	for i := range s {
+		s[i] = nil
+	}
+	s = s[:0]
+	p.pkts.Put(&s)
+}
+
+// Stats reports how many data buffers were requested and how many of
+// those requests were served from the pool.
+func (p *BufferPool) Stats() (gets, reuses uint64) {
+	return p.gets.Load(), p.reuses.Load()
+}
 
 // Magic numbers of the classic pcap format.
 const (
@@ -37,7 +112,14 @@ type Reader struct {
 	link    netpkt.LinkType
 	snapLen uint32
 	hdr     [16]byte
+	pool    *BufferPool
 }
+
+// SetBufferPool makes Next draw record data buffers (and ReadChunk its
+// packet slices) from p instead of allocating fresh ones. The caller is
+// then responsible for returning buffers of finished packets via the
+// pool's Put methods; nil disables pooling (the default).
+func (r *Reader) SetBufferPool(p *BufferPool) { r.pool = p }
 
 // NewReader parses the global header and prepares to stream packets.
 func NewReader(r io.Reader) (*Reader, error) {
@@ -73,7 +155,8 @@ func (r *Reader) LinkType() netpkt.LinkType { return r.link }
 func (r *Reader) SnapLen() uint32 { return r.snapLen }
 
 // Next returns the next raw record. It returns io.EOF cleanly at end of
-// stream. The returned data slice is freshly allocated.
+// stream. The returned data slice is freshly allocated unless a
+// BufferPool is attached, in which case it may reuse a recycled buffer.
 func (r *Reader) Next() (ts time.Time, data []byte, origLen int, err error) {
 	if _, err = io.ReadFull(r.r, r.hdr[:]); err != nil {
 		if errors.Is(err, io.ErrUnexpectedEOF) {
@@ -88,7 +171,11 @@ func (r *Reader) Next() (ts time.Time, data []byte, origLen int, err error) {
 	if incl > r.snapLen && r.snapLen > 0 && incl > DefaultSnapLen {
 		return time.Time{}, nil, 0, fmt.Errorf("pcap: record length %d exceeds snaplen", incl)
 	}
-	data = make([]byte, int(incl))
+	if r.pool != nil {
+		data = r.pool.getData(int(incl))
+	} else {
+		data = make([]byte, int(incl))
+	}
 	if _, err = io.ReadFull(r.r, data); err != nil {
 		return time.Time{}, nil, 0, fmt.Errorf("pcap: truncated record: %w", err)
 	}
@@ -130,11 +217,17 @@ func (r *Reader) ReadAll() ([]*netpkt.Packet, error) {
 // in which case it returns (nil, io.EOF).
 func (r *Reader) ReadChunk(maxRows, maxBytes int) ([]*netpkt.Packet, error) {
 	var out []*netpkt.Packet
+	if r.pool != nil {
+		out = r.pool.getPkts()
+	}
 	bytes := 0
 	for maxRows <= 0 || len(out) < maxRows {
 		p, err := r.NextPacket()
 		if errors.Is(err, io.EOF) {
 			if len(out) == 0 {
+				if r.pool != nil {
+					r.pool.PutPkts(out)
+				}
 				return nil, io.EOF
 			}
 			return out, nil
