@@ -21,7 +21,10 @@ test:
 # Finally it runs the sequential-vs-pipelined streaming benchmarks
 # (BenchmarkPipeline*: CPU-bound and IO-bound source, 1 and N workers;
 # peak-B heap high-water mark plus inflight-B pump buffering) into
-# BENCH_PR5.json.
+# BENCH_PR5.json, and the flow-sharded sink scaling set
+# (BenchmarkShardSink*: the same sink-bound pass at 1/2/4/8 flow-hash
+# lanes) into BENCH_PR6.json. Shard throughput scales with cores; on a
+# single-core host the expected ratio is ~1x (see DESIGN.md).
 BENCH_LABEL ?= current
 bench:
 	$(GO) test -bench=. -benchtime=300ms -count=3 -run='^$$' ./internal/mlkit/... \
@@ -30,6 +33,8 @@ bench:
 		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out BENCH_PR4.json
 	$(GO) test -bench=BenchmarkPipeline -benchtime=5x -count=3 -run='^$$' ./internal/core/ \
 		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out BENCH_PR5.json
+	$(GO) test -bench=BenchmarkShard -benchtime=5x -count=3 -run='^$$' ./internal/core/ \
+		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out BENCH_PR6.json
 
 # bench-paper runs the paper table/figure reproduction benchmarks once each.
 bench-paper:
@@ -39,9 +44,12 @@ vet:
 	$(GO) vet ./...
 
 # race runs the concurrency-sensitive packages (engine/cache singleflight,
-# streaming engine + staged pipeline, chunk pump and decoder buffer pool,
-# flow assemblers, span tracer, benchsuite worker pool, and the
-# mlkit/linalg row-parallel kernels) under the race detector.
+# streaming engine + staged pipeline + flow-sharded sink lanes — the
+# core suite sweeps every dataset × chunk size × execution shape
+# including multi-shard, so this is the shard equivalence gate — chunk
+# pump and decoder buffer pool, flow assemblers, span tracer, benchsuite
+# worker pool, and the mlkit/linalg row-parallel kernels) under the race
+# detector.
 race:
 	$(GO) test -race ./internal/core/... ./internal/dataset/... ./internal/pcap/... ./internal/flow/... ./internal/benchsuite/... ./internal/obs/... ./internal/mlkit/...
 

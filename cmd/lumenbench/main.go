@@ -60,6 +60,7 @@ func main() {
 		chunkBytes  = flag.Int("chunk-bytes", 0, "wire bytes per streamed chunk with -stream (0 = no byte bound; combines with -chunk-rows, first bound wins)")
 		pipeDepth   = flag.Int("pipeline-depth", 0, "decoded chunks in flight with -stream (>0 runs the staged source/ops/sink pipeline; 0 = sequential chunk loop)")
 		streamWrk   = flag.Int("stream-workers", 0, "goroutines for order-free row-local ops with -stream (>1 implies the staged pipeline; 0 or 1 = single worker)")
+		streamShard = flag.Int("shards", 0, "flow-hash lanes for the stateful sink stage with -stream (>1 implies the staged pipeline; 0 or 1 = unsharded sink)")
 		profile     = flag.Bool("profile", false, "sample per-op allocations and print the aggregated per-op profile")
 		profileOut  = flag.String("profile-out", "", "write the aggregated per-op profile as JSON to this file")
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON of the run to this file (open at ui.perfetto.dev)")
@@ -81,6 +82,7 @@ func main() {
 		ChunkBytes:    *chunkBytes,
 		PipelineDepth: *pipeDepth,
 		StreamWorkers: *streamWrk,
+		StreamShards:  *streamShard,
 		AlgIDs:        splitIDs(*algs),
 		DatasetIDs:    splitIDs(*datasets),
 	}

@@ -68,10 +68,12 @@ type Manifest struct {
 	Stream       bool     `json:"stream,omitempty"`
 	ChunkRows    int      `json:"chunk_rows,omitempty"`
 	ChunkBytes   int      `json:"chunk_bytes,omitempty"`
-	// PipelineDepth and StreamWorkers record the staged-pipeline shape of
-	// streamed runs (0 when the sequential chunk loop ran).
+	// PipelineDepth, StreamWorkers and StreamShards record the
+	// staged-pipeline shape of streamed runs (0 when the sequential chunk
+	// loop ran / the sink was unsharded).
 	PipelineDepth int    `json:"pipeline_depth,omitempty"`
 	StreamWorkers int    `json:"stream_workers,omitempty"`
+	StreamShards  int    `json:"stream_shards,omitempty"`
 	GoVersion     string `json:"go_version"`
 	MaxProcs      int    `json:"max_procs"`
 }

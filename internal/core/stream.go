@@ -29,10 +29,21 @@ type StreamConfig struct {
 	// worker). Only order-free row-local ops fan out; carry-state ops and
 	// model scoring always run in stream order in the sink stage.
 	Workers int
+	// Shards is the number of flow-hash lanes the stateful sink stage is
+	// partitioned into (0 or 1 = a single sink). Each packet routes to
+	// the lane derived from its direction-normalized five-tuple, and each
+	// lane owns independent flow assemblers and a model-scratch replica,
+	// so flow assembly and model scoring run concurrently across lanes
+	// while cross-flow carry folds (Kitsune statistics, inter-arrival
+	// times) stay on the in-order router. Results remain bit-identical to
+	// Shards=1 at any shard count; see DESIGN.md "Flow-sharded sink".
+	Shards int
 }
 
 // pipelined reports whether the config selects the staged pipeline.
-func (c StreamConfig) pipelined() bool { return c.PipelineDepth > 0 || c.Workers > 1 }
+func (c StreamConfig) pipelined() bool {
+	return c.PipelineDepth > 0 || c.Workers > 1 || c.Shards > 1
+}
 
 // depth returns the effective source-queue depth of a pipelined run.
 func (c StreamConfig) depth() int {
@@ -48,6 +59,18 @@ func (c StreamConfig) workers() int {
 		return c.Workers
 	}
 	return 1
+}
+
+// shards returns the effective sink-shard count, capped so a lane id
+// fits in a byte (dataset.Chunk.ShardIDs).
+func (c StreamConfig) shards() int {
+	if c.Shards <= 1 {
+		return 1
+	}
+	if c.Shards > 256 {
+		return 256
+	}
+	return c.Shards
 }
 
 // streamableAlways lists ops that are row-local in both modes: each output
@@ -116,6 +139,16 @@ type streamPlan struct {
 	worker   []bool
 	ordered  []bool
 	nOrdered int
+	// lane[i]: op i is ordered but flow-partitionable — its rows can be
+	// scored independently per shard lane (test-mode model scoring whose
+	// output no later streamed op consumes). The remaining ordered ops
+	// (routerOrdered) fold cross-flow carry state — Kitsune's per-source
+	// statistics, global inter-arrival times — and must see every chunk
+	// in stream order on a single goroutine even when the sink is
+	// sharded. nLane counts the lane-eligible ops.
+	lane          []bool
+	routerOrdered []bool
+	nLane         int
 	// accum holds the names of streamed frame outputs that some deferred
 	// op reads: their per-chunk frames are retained and concatenated at
 	// flush. Streamed values consumed only by streamed ops are never kept.
@@ -130,11 +163,13 @@ type streamPlan struct {
 // only exists at flush).
 func (e *Engine) planStream(mode Mode) *streamPlan {
 	pl := &streamPlan{
-		streamed: make([]bool, len(e.P.Ops)),
-		flowSink: make([]bool, len(e.P.Ops)),
-		worker:   make([]bool, len(e.P.Ops)),
-		ordered:  make([]bool, len(e.P.Ops)),
-		accum:    map[string]bool{},
+		streamed:      make([]bool, len(e.P.Ops)),
+		flowSink:      make([]bool, len(e.P.Ops)),
+		worker:        make([]bool, len(e.P.Ops)),
+		ordered:       make([]bool, len(e.P.Ops)),
+		lane:          make([]bool, len(e.P.Ops)),
+		routerOrdered: make([]bool, len(e.P.Ops)),
+		accum:         map[string]bool{},
 	}
 	streamedVal := map[string]bool{InputName: true}
 	for i, op := range e.P.Ops {
@@ -175,6 +210,36 @@ func (e *Engine) planStream(mode Mode) *streamPlan {
 		} else {
 			pl.ordered[i] = true
 			pl.nOrdered++
+		}
+	}
+	// Split the ordered ops once more for sharded sinks: test-mode
+	// scoring partitions cleanly by flow/packet (each row scored
+	// independently by a per-lane model replica) as long as no later
+	// streamed op consumes the trained value mid-stream; every other
+	// ordered op keeps cross-chunk, cross-flow carry and stays on the
+	// router.
+	for i, op := range e.P.Ops {
+		if !pl.ordered[i] {
+			continue
+		}
+		eligible := op.Func == "train" && mode == ModeTest
+		if eligible {
+			for j := i + 1; j < len(e.P.Ops) && eligible; j++ {
+				if !pl.streamed[j] {
+					continue
+				}
+				for _, in := range e.P.Ops[j].Input {
+					if in == op.Output {
+						eligible = false
+					}
+				}
+			}
+		}
+		if eligible {
+			pl.lane[i] = true
+			pl.nLane++
+		} else {
+			pl.routerOrdered[i] = true
 		}
 	}
 	// Deferred ops pull their streamed inputs from the accumulator.

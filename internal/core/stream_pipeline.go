@@ -1,7 +1,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,10 +18,14 @@ type StreamStats struct {
 	// Chunks is the number of chunks pulled from the source.
 	Chunks int
 	// Pipelined reports whether the staged pipeline ran (false: the
-	// sequential loop). Depth and Workers are its effective shape.
+	// sequential loop). Depth, Workers and Shards are its effective
+	// shape; Shards is 1 when the sink ran unsharded (including plans
+	// with nothing flow-partitionable, where a requested shard count is
+	// ignored).
 	Pipelined bool
 	Depth     int
 	Workers   int
+	Shards    int
 	// PeakInFlightBytes is the high-water mark of wire bytes decoded but
 	// not yet released by the sink — the pipeline's actual buffering,
 	// bounded by O(Depth + Workers) chunks. Zero on sequential runs.
@@ -54,8 +60,15 @@ type StreamStats struct {
 func (r *streamExec) runPipelined(src dataset.Source, cfg StreamConfig) (*EvalResult, error) {
 	e := r.e
 	depth, workers := cfg.depth(), cfg.workers()
+	shards := cfg.shards()
+	if shards > 1 && r.pl.nLane == 0 && len(r.sinks) == 0 {
+		// Nothing in this plan partitions by flow: no flow sinks and no
+		// lane-eligible scoring op. Sharding would only add hand-off
+		// overhead, so run the sink unsharded.
+		shards = 1
+	}
 	recycle := r.recycler(src) != nil
-	e.LastStream = StreamStats{Pipelined: true, Depth: depth, Workers: workers}
+	e.LastStream = StreamStats{Pipelined: true, Depth: depth, Workers: workers, Shards: shards}
 
 	pump := dataset.StartPump(src, dataset.PumpConfig{
 		MaxRows:  cfg.ChunkRows,
@@ -69,6 +82,7 @@ func (r *streamExec) runPipelined(src dataset.Source, cfg StreamConfig) (*EvalRe
 	// stays on the caller's track (it is the caller's goroutine).
 	var srcSpan, sinkSpan *obs.Span
 	wSpans := make([]*obs.Span, workers)
+	laneTID := 0
 	if e.Span != nil {
 		t := e.Span.TID()
 		srcSpan = e.Span.ChildOn("stage:source", t+1)
@@ -76,10 +90,15 @@ func (r *streamExec) runPipelined(src dataset.Source, cfg StreamConfig) (*EvalRe
 			wSpans[w] = e.Span.ChildOn("stage:ops", t+2+w)
 		}
 		sinkSpan = e.Span.Child("stage:sink")
+		laneTID = t + 2 + workers
 	}
 
 	jobs := make(chan *chunkJob, depth+workers)
 	done := make(chan struct{}) // closed by the sink on first error
+	var sh *shardRun
+	if shards > 1 {
+		sh = r.startShards(shards, depth+workers, pump, done, sinkSpan, laneTID)
+	}
 	var opsStallNS atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -89,10 +108,12 @@ func (r *streamExec) runPipelined(src dataset.Source, cfg StreamConfig) (*EvalRe
 			for {
 				t0 := time.Now()
 				nc, ok := <-pump.C
-				opsStallNS.Add(time.Since(t0).Nanoseconds())
 				if !ok {
+					// The final blocked receive only observed the close —
+					// no chunk was delayed, so it is not stall time.
 					return
 				}
+				opsStallNS.Add(time.Since(t0).Nanoseconds())
 				job := r.newJob(nc)
 				var cs *obs.Span
 				if stage != nil {
@@ -108,6 +129,7 @@ func (r *streamExec) runPipelined(src dataset.Source, cfg StreamConfig) (*EvalRe
 				case jobs <- job:
 				case <-done:
 					pump.Done(job.nc)
+					putChunkJob(job)
 					return
 				}
 			}
@@ -133,10 +155,11 @@ func (r *streamExec) runPipelined(src dataset.Source, cfg StreamConfig) (*EvalRe
 	for {
 		t0 := time.Now()
 		job, ok := <-jobs
-		sinkStallNS += time.Since(t0).Nanoseconds()
 		if !ok {
+			// Observing the close is not a stalled chunk hand-off.
 			break
 		}
+		sinkStallNS += time.Since(t0).Nanoseconds()
 		pending[job.nc.Seq] = job
 		for {
 			j, ready := pending[next]
@@ -145,11 +168,18 @@ func (r *streamExec) runPipelined(src dataset.Source, cfg StreamConfig) (*EvalRe
 			}
 			delete(pending, next)
 			next++
+			if gDecoded != nil {
+				gDecoded.Set(float64(len(pump.C)))
+				gProcessed.Set(float64(len(jobs)))
+			}
+			if sh != nil {
+				// Sharded sink: the router hands every in-order job to
+				// the lanes and merger, which own error unwind and
+				// release.
+				sh.route(j)
+				continue
+			}
 			if firstErr == nil {
-				if gDecoded != nil {
-					gDecoded.Set(float64(len(pump.C)))
-					gProcessed.Set(float64(len(jobs)))
-				}
 				if err := r.sinkChunk(j, sinkSpan); err != nil {
 					// First in-order failure: identical to where the
 					// sequential loop would have stopped. Unwind the
@@ -165,9 +195,20 @@ func (r *streamExec) runPipelined(src dataset.Source, cfg StreamConfig) (*EvalRe
 		}
 	}
 	// Jobs whose predecessors never arrived (workers unwound early).
+	// They were never routed to any lane, so direct release is safe in
+	// both sink modes.
 	for _, j := range pending {
 		pump.Done(j.nc)
 		putChunkJob(j)
+	}
+	if sh != nil {
+		firstErr = sh.close()
+	}
+	// On an error unwind some workers may have exited through the done
+	// branch with chunks still queued; release them so the pump's source
+	// goroutine can finish (and close pump.C, which Err() requires).
+	for nc := range pump.C {
+		pump.Done(nc)
 	}
 
 	ps := pump.Stats()
@@ -191,13 +232,32 @@ func (r *streamExec) runPipelined(src dataset.Source, cfg StreamConfig) (*EvalRe
 		e.Metrics.Gauge("lumen_stage_stall_seconds", help, "stage", "source").Set(float64(ps.StallNS) / 1e9)
 		e.Metrics.Gauge("lumen_stage_stall_seconds", help, "stage", "ops").Set(float64(opsStallNS.Load()) / 1e9)
 		e.Metrics.Gauge("lumen_stage_stall_seconds", help, "stage", "sink").Set(float64(sinkStallNS) / 1e9)
+		if sh != nil {
+			e.Metrics.Gauge("lumen_stage_stall_seconds", help, "stage", "merge").Set(float64(sh.mergeStallNS) / 1e9)
+			for _, ln := range sh.lanes {
+				lbl := strconv.Itoa(ln.k)
+				e.Metrics.Gauge("lumen_shard_packets", "Packets routed to each flow-hash shard lane of the most recent streaming run.", "shard", lbl).Set(float64(ln.packets))
+				e.Metrics.Gauge("lumen_shard_rows", "Feature rows scored by each flow-hash shard lane of the most recent streaming run.", "shard", lbl).Set(float64(ln.rows))
+				e.Metrics.Gauge("lumen_shard_stall_seconds", "Cumulative seconds each shard lane of the most recent streaming run spent waiting for routed chunks.", "shard", lbl).Set(float64(ln.stallNS) / 1e9)
+			}
+		}
 	}
 
+	// Both unwind paths can carry an error: the sink hitting an op error
+	// in order, and the pump's source failing concurrently. Surfacing only
+	// the sink's used to silently drop a decode failure.
+	srcErr := pump.Err()
+	if srcErr != nil {
+		srcErr = fmt.Errorf("core: packet source: %w", srcErr)
+	}
 	if firstErr != nil {
+		if srcErr != nil {
+			return nil, errors.Join(firstErr, srcErr)
+		}
 		return nil, firstErr
 	}
-	if err := pump.Err(); err != nil {
-		return nil, fmt.Errorf("core: packet source: %w", err)
+	if srcErr != nil {
+		return nil, srcErr
 	}
 	return r.finish()
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lumen/internal/dataset"
@@ -24,6 +25,10 @@ type streamExec struct {
 	// goroutine that runs them (sequential loop / sink stage) touches it.
 	sc    *streamCtx
 	sinks map[int]*flowSinkState
+	// lanes holds the per-shard sink partitions of a sharded pipelined
+	// run (nil otherwise); finish() merges their flow logs back into the
+	// canonical order.
+	lanes []*shardLane
 	prof  []OpStats
 
 	accum   map[string][]*Frame
@@ -55,22 +60,11 @@ func newStreamExec(e *Engine, src dataset.Source, mode Mode) (*streamExec, error
 		accum:   map[string][]*Frame{},
 		lastVal: map[string]Value{},
 	}
-	for i, op := range e.P.Ops {
-		if !r.pl.flowSink[i] {
-			continue
-		}
-		opts, gran, err := flowParams(params(op.Params))
-		if err != nil {
-			return nil, fmt.Errorf("core: op %d (%s -> %s): %w", i, op.Func, op.Output, err)
-		}
-		s := &flowSinkState{gran: gran}
-		if gran == dataset.UniflowG {
-			s.uni = flow.NewUniflowAssembler(opts)
-		} else {
-			s.conn = flow.NewConnAssembler(opts)
-		}
-		r.sinks[i] = s
+	sinks, err := newFlowSinkStates(e, r.pl)
+	if err != nil {
+		return nil, err
 	}
+	r.sinks = sinks
 	r.prof = make([]OpStats, len(e.P.Ops))
 	for i, op := range e.P.Ops {
 		r.prof[i] = OpStats{Func: op.Func, Output: op.Output}
@@ -85,6 +79,30 @@ func newStreamExec(e *Engine, src dataset.Source, mode Mode) (*streamExec, error
 		}
 	}
 	return r, nil
+}
+
+// newFlowSinkStates builds one incremental assembler per flow-sink op.
+// Sharded runs call it once per lane, so each lane assembles its own
+// flow partition with an independent assembler.
+func newFlowSinkStates(e *Engine, pl *streamPlan) (map[int]*flowSinkState, error) {
+	sinks := map[int]*flowSinkState{}
+	for i, op := range e.P.Ops {
+		if !pl.flowSink[i] {
+			continue
+		}
+		opts, gran, err := flowParams(params(op.Params))
+		if err != nil {
+			return nil, fmt.Errorf("core: op %d (%s -> %s): %w", i, op.Func, op.Output, err)
+		}
+		s := &flowSinkState{gran: gran}
+		if gran == dataset.UniflowG {
+			s.uni = flow.NewUniflowAssembler(opts)
+		} else {
+			s.conn = flow.NewConnAssembler(opts)
+		}
+		sinks[i] = s
+	}
+	return sinks, nil
 }
 
 // recycler returns the source's Recycler when finished chunks may safely
@@ -122,12 +140,31 @@ type chunkJob struct {
 	// (field_extract without iat) still save it; writing into a
 	// discardable job-local carry keeps them race-free.
 	wsc streamCtx
+
+	// Shard-routing state, used only by sharded pipelined runs: the lane
+	// of every packet, the scoring frame and its per-lane row partition,
+	// each lane's output, and the barrier the merger waits on before
+	// stitching. routed marks jobs dispatched to the lanes; demoted marks
+	// jobs whose scoring ran on the router instead.
+	shardIDs  []uint8
+	laneFrame *Frame
+	laneRows  [][]int
+	laneRes   []laneResult
+	laneDone  sync.WaitGroup
+	routed    bool
+	demoted   bool
 }
 
 var chunkJobPool = sync.Pool{New: func() any { return new(chunkJob) }}
 
+// chunkJobGets / chunkJobPuts balance-check the job pool: every job
+// taken by newJob must come back through putChunkJob on every exit path
+// (including early pipeline unwinds), or pooled jobs leak.
+var chunkJobGets, chunkJobPuts atomic.Int64
+
 // newJob readies a pooled job for one chunk.
 func (r *streamExec) newJob(nc dataset.NumberedChunk) *chunkJob {
+	chunkJobGets.Add(1)
 	j := chunkJobPool.Get().(*chunkJob)
 	j.nc = nc
 	// cds is allocated fresh: op outputs of packet kind may retain it
@@ -166,12 +203,21 @@ func (r *streamExec) newJob(nc dataset.NumberedChunk) *chunkJob {
 
 // putChunkJob returns a job to the pool once nothing references it.
 func putChunkJob(j *chunkJob) {
+	chunkJobPuts.Add(1)
 	j.nc = dataset.NumberedChunk{}
 	j.cds = nil
 	clear(j.env)
 	for i := range j.results {
 		j.results[i] = nil
 	}
+	j.shardIDs = j.shardIDs[:0]
+	j.laneFrame = nil
+	for i := range j.laneRows {
+		j.laneRows[i] = j.laneRows[i][:0]
+	}
+	clear(j.laneRes)
+	j.laneRes = j.laneRes[:0]
+	j.routed, j.demoted = false, false
 	chunkJobPool.Put(j)
 }
 
@@ -341,15 +387,7 @@ func (r *streamExec) finish() (*EvalResult, error) {
 		st := OpStats{Func: op.Func, Output: op.Output}
 		start := time.Now()
 		if s, ok := r.sinks[i]; ok {
-			out := &Flows{DS: fullDS, Granularity: s.gran}
-			if s.uni != nil {
-				out.Unis = append(s.unis, s.uni.Flush()...)
-				flow.SortUniflows(out.Unis)
-			} else {
-				out.Conns = append(s.cons, s.conn.Flush()...)
-				flow.SortConnections(out.Conns)
-			}
-			fenv[op.Output] = out
+			fenv[op.Output] = r.finishFlows(i, s, fullDS)
 			r.prof[i].Wall += time.Since(start)
 			continue
 		}

@@ -14,11 +14,17 @@ var streamChunkSizes = []int{64, 1024, 0}
 
 // streamExecShapes are the execution shapes every equivalence case runs
 // under: the sequential loop, single-worker pipelining (decode overlaps
-// ops), and parallel worker fan-out with ordered recombination.
+// ops), parallel worker fan-out with ordered recombination, and
+// flow-sharded sinks at several lane counts (alone and combined with
+// worker fan-out).
 var streamExecShapes = []StreamConfig{
 	{},
 	{PipelineDepth: 2},
 	{PipelineDepth: 4, Workers: 4},
+	{Shards: 2},
+	{PipelineDepth: 2, Workers: 2, Shards: 2},
+	{PipelineDepth: 4, Workers: 4, Shards: 4},
+	{PipelineDepth: 4, Workers: 4, Shards: 8},
 }
 
 func flowPipeline(model string, extra map[string]any) *Pipeline {
@@ -155,7 +161,7 @@ func streamRun(t *testing.T, p *Pipeline, ds *dataset.Labeled, chunk int) *EvalR
 	for _, shape := range streamExecShapes {
 		cfg := shape
 		cfg.ChunkRows = chunk
-		label := fmt.Sprintf("chunk %d, depth %d, workers %d", chunk, cfg.PipelineDepth, cfg.Workers)
+		label := fmt.Sprintf("chunk %d, depth %d, workers %d, shards %d", chunk, cfg.PipelineDepth, cfg.Workers, cfg.Shards)
 		eng := NewEngine(p)
 		eng.Seed = 7
 		if err := eng.TrainStream(ds, cfg); err != nil {

@@ -1,0 +1,30 @@
+package dataset
+
+import "lumen/internal/netpkt"
+
+// ShardID returns the shard lane in [0, k) that owns packet p when flow
+// state is partitioned across k lanes. The lane is derived from the
+// stable hash of the packet's direction-normalized five-tuple, so every
+// packet of a flow — in either direction — lands on the same lane.
+// Packets without a network layer (ARP, 802.11 management frames) have
+// no flow and deterministically route to lane 0.
+func ShardID(p *netpkt.Packet, k int) int {
+	if k <= 1 {
+		return 0
+	}
+	ft, ok := p.Tuple()
+	if !ok {
+		return 0
+	}
+	return int(ft.ShardHash() % uint64(k))
+}
+
+// ShardIDs appends the shard lane of every packet in the chunk to dst
+// (reusing its capacity) and returns the extended slice. k must be at
+// most 256 so a lane fits in a byte.
+func (c Chunk) ShardIDs(k int, dst []uint8) []uint8 {
+	for _, p := range c.Packets {
+		dst = append(dst, uint8(ShardID(p, k)))
+	}
+	return dst
+}

@@ -1,0 +1,33 @@
+package flow
+
+// Per-shard assembly: when a packet stream is partitioned by flow key
+// (every packet of a flow — both directions — feeds the same assembler),
+// each assembler observes exactly the subsequence of packets its flows
+// would have contributed to a single global assembler, in the same
+// relative order and with the same timestamps and global indices. Flow
+// splitting depends only on same-tuple packet gaps and eviction never
+// alters a flow's contents (see Assembler docs), so the union of the
+// shards' flows is the same multiset a single assembler produces. The
+// merge helpers below restore the canonical global order, making
+// sharded assembly bit-identical to unsharded.
+
+// MergeUniflows concatenates per-shard uniflow slices and restores the
+// canonical (first-packet time, tuple) order.
+func MergeUniflows(parts ...[]*Uniflow) []*Uniflow {
+	var out []*Uniflow
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	SortUniflows(out)
+	return out
+}
+
+// MergeConnections is MergeUniflows for bidirectional connections.
+func MergeConnections(parts ...[]*Connection) []*Connection {
+	var out []*Connection
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	SortConnections(out)
+	return out
+}

@@ -1,0 +1,99 @@
+package flow
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"lumen/internal/netpkt"
+)
+
+// shardPackets partitions pkts by flow-hash lane, keeping each packet's
+// global index so per-shard assemblers see the indices a global one
+// would have used.
+func shardPackets(pkts []*netpkt.Packet, k int) [][]int {
+	lanes := make([][]int, k)
+	for i, p := range pkts {
+		lane := 0
+		if ft, ok := p.Tuple(); ok && k > 1 {
+			lane = int(ft.ShardHash() % uint64(k))
+		}
+		lanes[lane] = append(lanes[lane], i)
+	}
+	return lanes
+}
+
+// mixedTraffic interleaves several concurrent flows, including an idle
+// split (same tuple reused past the timeout) and both directions of each
+// connection.
+func mixedTraffic(t *testing.T) []*netpkt.Packet {
+	t.Helper()
+	var pkts []*netpkt.Packet
+	pkts = append(pkts, handshake(t, 0)...)
+	for i := 0; i < 12; i++ {
+		host := netip.AddrFrom4([4]byte{10, 0, 1, byte(10 + i)})
+		sec := 0.5 + float64(i)*0.3
+		pkts = append(pkts, udpPkt(t, host, hostB, uint16(6000+i), 53, sec))
+		pkts = append(pkts, udpPkt(t, hostB, host, 53, uint16(6000+i), sec+0.01))
+	}
+	pkts = append(pkts, tcpPkt(t, hostA, hostB, 4321, 80, netpkt.FlagSYN, 2, ""))
+	pkts = append(pkts, tcpPkt(t, hostB, hostA, 80, 4321, netpkt.FlagRST, 2.01, ""))
+	pkts = append(pkts, handshake(t, 300)...) // same tuple, past idle: split
+	pkts = append(pkts, udpPkt(t, hostA, hostB, 5000, 53, 301))
+	return pkts
+}
+
+// TestShardedUniflowsMatchGlobal: feeding flow-hash partitions of the
+// stream to independent assemblers and merging must reproduce the single
+// assembler's output exactly, for every shard count.
+func TestShardedUniflowsMatchGlobal(t *testing.T) {
+	pkts := mixedTraffic(t)
+	opts := Options{}
+	_, want := driveUni(pkts, opts)
+	for _, k := range []int{1, 2, 8} {
+		parts := make([][]*Uniflow, k)
+		for lane, idxs := range shardPackets(pkts, k) {
+			a := NewUniflowAssembler(opts)
+			var out []*Uniflow
+			for _, i := range idxs {
+				out = append(out, a.Add(i, pkts[i])...)
+			}
+			parts[lane] = append(out, a.Flush()...)
+		}
+		got := MergeUniflows(parts...)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("k=%d: sharded uniflow assembly diverges: %d flows vs %d", k, len(got), len(want))
+		}
+	}
+}
+
+// TestShardedConnectionsMatchGlobal is the bidirectional counterpart:
+// both directions of a connection hash to one lane, so the per-lane conn
+// logs merge to the global one bit-for-bit.
+func TestShardedConnectionsMatchGlobal(t *testing.T) {
+	pkts := mixedTraffic(t)
+	opts := Options{}
+	_, want := driveConn(pkts, opts)
+	for _, k := range []int{1, 2, 8} {
+		parts := make([][]*Connection, k)
+		empty := 0
+		for lane, idxs := range shardPackets(pkts, k) {
+			if len(idxs) == 0 {
+				empty++
+			}
+			a := NewConnAssembler(opts)
+			var out []*Connection
+			for _, i := range idxs {
+				out = append(out, a.Add(i, pkts[i])...)
+			}
+			parts[lane] = append(out, a.Flush()...)
+		}
+		got := MergeConnections(parts...)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("k=%d: sharded connection assembly diverges: %d conns vs %d", k, len(got), len(want))
+		}
+		if k == 8 && empty == 0 {
+			t.Log("note: all 8 lanes happened to receive packets")
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package mlkit
+
+// ScoringReplica returns a classifier that can run Predict/Proba
+// concurrently with other replicas of the same fitted model. Replicas
+// share every fitted, read-only parameter (weights, trees, support
+// vectors, scaler statistics) but own any mutable inference scratch —
+// today that is only the MLP's batched activation buffers, reused by
+// Predict01/VisitOutputs and therefore unsafe to share across
+// goroutines. Models whose inference path allocates locally (trees,
+// KNN, NB, SVM, GMM, OCSVM) are returned unchanged.
+//
+// Replica outputs are bit-identical to the original's: inference reads
+// only the shared parameters, and the replicated scratch never feeds
+// back into results. Replicas are for scoring only; fitting a replica
+// is unsupported (it would mutate state other replicas share).
+func ScoringReplica(c Classifier) Classifier {
+	switch m := c.(type) {
+	case *MLPClassifier:
+		if m.net == nil {
+			return m
+		}
+		cp := *m
+		cp.net = m.net.scoreReplica()
+		return &cp
+	case *Thresholded:
+		cp := *m
+		cp.Detector = scoringReplicaDetector(m.Detector)
+		return &cp
+	case *Pipeline:
+		cp := *m
+		cp.Model = ScoringReplica(m.Model)
+		return &cp
+	case *VotingEnsemble:
+		cp := *m
+		cp.Members = make([]Classifier, len(m.Members))
+		for i, member := range m.Members {
+			cp.Members[i] = ScoringReplica(member)
+		}
+		return &cp
+	case *GridSearch:
+		if m.best == nil {
+			return m
+		}
+		cp := *m
+		cp.best = ScoringReplica(m.best)
+		return &cp
+	case *AutoML:
+		if m.best == nil {
+			return m
+		}
+		cp := *m
+		cp.best = ScoringReplica(m.best)
+		return &cp
+	default:
+		return c
+	}
+}
+
+// scoringReplicaDetector is ScoringReplica for the Detector interface:
+// it replicates the MLP-backed detectors (autoencoders, KitNET) and the
+// wrappers that contain them, and returns scratch-free detectors as-is.
+func scoringReplicaDetector(d Detector) Detector {
+	switch m := d.(type) {
+	case *Autoencoder:
+		if m.net == nil {
+			return m
+		}
+		cp := *m
+		cp.net = m.net.scoreReplica()
+		return &cp
+	case *KitNET:
+		cp := *m
+		cp.ensemble = make([]*Autoencoder, len(m.ensemble))
+		for i, ae := range m.ensemble {
+			cp.ensemble[i] = scoringReplicaDetector(ae).(*Autoencoder)
+		}
+		if m.output != nil {
+			cp.output = scoringReplicaDetector(m.output).(*Autoencoder)
+		}
+		return &cp
+	case *DetectorPipeline:
+		cp := *m
+		cp.Detector = scoringReplicaDetector(m.Detector)
+		return &cp
+	default:
+		return d
+	}
+}

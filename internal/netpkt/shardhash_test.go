@@ -1,0 +1,48 @@
+package netpkt
+
+import (
+	"hash/fnv"
+	"net/netip"
+	"testing"
+)
+
+func hashTuple(t *testing.T, f FiveTuple) uint64 {
+	t.Helper()
+	c := f.Canonical()
+	h := fnv.New64a()
+	src, dst := c.SrcIP.As16(), c.DstIP.As16()
+	h.Write(src[:])
+	h.Write(dst[:])
+	h.Write([]byte{byte(c.SrcPort >> 8), byte(c.SrcPort), byte(c.DstPort >> 8), byte(c.DstPort), c.Proto})
+	return h.Sum64()
+}
+
+func TestShardHashMatchesFNV(t *testing.T) {
+	tuples := []FiveTuple{
+		{SrcIP: ip4(10, 0, 0, 1), DstIP: ip4(10, 0, 0, 2), SrcPort: 1234, DstPort: 80, Proto: ProtoTCP},
+		{SrcIP: ip4(192, 168, 1, 9), DstIP: ip4(8, 8, 8, 8), SrcPort: 53124, DstPort: 53, Proto: ProtoUDP},
+		{SrcIP: netip.MustParseAddr("2001:db8::1"), DstIP: netip.MustParseAddr("2001:db8::2"), SrcPort: 443, DstPort: 50000, Proto: ProtoTCP},
+		{SrcIP: ip4(10, 0, 0, 1), DstIP: ip4(10, 0, 0, 1), SrcPort: 0, DstPort: 0, Proto: ProtoICMP},
+	}
+	for _, f := range tuples {
+		if got, want := f.ShardHash(), hashTuple(t, f); got != want {
+			t.Errorf("ShardHash(%v) = %#x, want FNV-1a %#x", f, got, want)
+		}
+	}
+}
+
+func TestShardHashDirectionInvariant(t *testing.T) {
+	f := FiveTuple{SrcIP: ip4(10, 0, 0, 1), DstIP: ip4(172, 16, 0, 9), SrcPort: 40000, DstPort: 443, Proto: ProtoTCP}
+	if f.ShardHash() != f.Reverse().ShardHash() {
+		t.Errorf("ShardHash differs across directions: %#x vs %#x", f.ShardHash(), f.Reverse().ShardHash())
+	}
+}
+
+func TestShardHashDistinguishesTuples(t *testing.T) {
+	a := FiveTuple{SrcIP: ip4(10, 0, 0, 1), DstIP: ip4(10, 0, 0, 2), SrcPort: 1234, DstPort: 80, Proto: ProtoTCP}
+	b := a
+	b.SrcPort = 1235
+	if a.ShardHash() == b.ShardHash() {
+		t.Errorf("distinct tuples hash equal: %v vs %v", a, b)
+	}
+}
