@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-paper race vet docs-lint check
+.PHONY: build test bench bench-paper race vet docs-lint check daemon-smoke
 
 build:
 	$(GO) build ./...
@@ -48,16 +48,36 @@ vet:
 # core suite sweeps every dataset × chunk size × execution shape
 # including multi-shard, so this is the shard equivalence gate — chunk
 # pump and decoder buffer pool, flow assemblers, span tracer, benchsuite
-# worker pool, and the mlkit/linalg row-parallel kernels) under the race
-# detector.
+# worker pool, the mlkit/linalg row-parallel kernels, and the resident
+# daemon: pipeline lifecycle, hot swap under live ingest, live sources,
+# the HTTP control surface, and the lumend binary end to end) under the
+# race detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/dataset/... ./internal/pcap/... ./internal/flow/... ./internal/benchsuite/... ./internal/obs/... ./internal/mlkit/...
+	$(GO) test -race ./internal/core/... ./internal/dataset/... ./internal/pcap/... ./internal/flow/... ./internal/benchsuite/... ./internal/obs/... ./internal/mlkit/... ./internal/daemon/... ./cmd/lumend/...
 
 # docs-lint enforces the documentation floor (see doclint_test.go):
 # package comments everywhere under internal/ and cmd/, doc comments on
 # every exported symbol of internal/obs and internal/core.
 docs-lint:
 	$(GO) test -run TestDocLint .
+
+# daemon-smoke boots lumend on a small replayed capture, then asserts
+# that at least one JSONL alert line was written and that every pipeline
+# reported a clean stop. This is the cheap end-to-end gate for the
+# resident daemon path (see OPERATIONS.md).
+daemon-smoke:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/lumend -pipeline examples/daemon-hot-swap/pipeline.json \
+		-train F1 -train-scale 0.05 -replay-dataset F1 -replay-scale 0.05 \
+		-chunk-rows 64 -listen "" \
+		-alerts $$tmp/alerts.jsonl -connlog $$tmp/conn.log >$$tmp/out.txt 2>&1 \
+		|| { echo "daemon-smoke: lumend failed"; cat $$tmp/out.txt; rm -rf $$tmp; exit 1; }; \
+	head -1 $$tmp/alerts.jsonl | grep -q '"pipeline"' \
+		|| { echo "daemon-smoke: no alert line"; cat $$tmp/out.txt; rm -rf $$tmp; exit 1; }; \
+	grep -q ' stopped: ' $$tmp/out.txt \
+		|| { echo "daemon-smoke: no clean shutdown"; cat $$tmp/out.txt; rm -rf $$tmp; exit 1; }; \
+	echo "daemon-smoke: OK ($$(wc -l < $$tmp/alerts.jsonl) alerts, conn-log $$(wc -l < $$tmp/conn.log) lines)"; \
+	rm -rf $$tmp
 
 # check is the CI gate: static analysis, race-clean concurrency paths,
 # and the documentation lint.

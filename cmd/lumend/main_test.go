@@ -1,0 +1,329 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"lumen/internal/core"
+	"lumen/internal/dataset"
+	"lumen/internal/mlkit"
+	"lumen/internal/netpkt"
+	"lumen/internal/pcap"
+)
+
+// testPipelineJSON writes the fixture pipeline template to a temp file:
+// packet granularity, every op streaming, a decision tree so the fitted
+// model round-trips through mlkit.SaveModel.
+func testPipelineJSON(t *testing.T) string {
+	t.Helper()
+	tpl := map[string]any{
+		"name":        "lumend-test",
+		"granularity": "packet",
+		"ops": []map[string]any{
+			{"func": "field_extract", "input": []string{core.InputName}, "output": "X",
+				"params": map[string]any{"fields": []string{"ts", "len", "ttl", "dst_port", "tcp_syn", "iat"}}},
+			{"func": "log_scale", "input": []string{"X"}, "output": "Xl"},
+			{"func": "model", "output": "m", "params": map[string]any{"model_type": "decision_tree", "max_depth": 6}},
+			{"func": "train", "input": []string{"m", "Xl"}, "output": "fit"},
+		},
+	}
+	data, err := json.Marshal(tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "pipeline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// testDS generates the shared fixture trace.
+func testDS(t *testing.T) *dataset.Labeled {
+	t.Helper()
+	spec, ok := dataset.Get("F1")
+	if !ok {
+		t.Fatal("dataset F1 not registered")
+	}
+	return spec.Generate(0.05)
+}
+
+// trainModelFile fits the fixture pipeline on ds and persists the model.
+func trainModelFile(t *testing.T, plPath string, ds *dataset.Labeled) string {
+	t.Helper()
+	pl, err := core.LoadPipeline(plPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(pl)
+	eng.Seed = 7
+	if err := eng.Train(ds); err != nil {
+		t.Fatal(err)
+	}
+	clf, ok := eng.TrainedModel()
+	if !ok {
+		t.Fatal("no trained model")
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := mlkit.SaveModel(path, clf); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// defaults parses an empty command line, yielding the flag defaults.
+func defaults() options { return parseFlags(nil, flag.ContinueOnError) }
+
+func TestValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*options)
+		want string
+	}{
+		{"no pipeline", func(o *options) {}, "-pipeline is required"},
+		{"no ingest", func(o *options) { o.pipeline = "p.json" }, "exactly one ingest"},
+		{"two ingests", func(o *options) {
+			o.pipeline, o.replay, o.watch = "p.json", "a.pcap", "dir"
+		}, "exactly one ingest"},
+		{"no model", func(o *options) { o.pipeline, o.replay = "p.json", "a.pcap" }, "exactly one model source"},
+		{"model and train", func(o *options) {
+			o.pipeline, o.replay, o.model, o.train = "p.json", "a.pcap", "m.json", "F1"
+		}, "exactly one model source"},
+		{"zero pipes", func(o *options) {
+			o.pipeline, o.replay, o.train, o.pipes = "p.json", "a.pcap", "F1", 0
+		}, "-pipes"},
+		{"replicated feed", func(o *options) {
+			o.pipeline, o.listenFeed, o.train, o.pipes = "p.json", ":0", "F1", 2
+		}, "replay ingest"},
+		{"bad link", func(o *options) {
+			o.pipeline, o.replay, o.train, o.link = "p.json", "a.pcap", "F1", "token-ring"
+		}, "unknown -link"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := defaults()
+			tc.mut(&o)
+			err := o.validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunReplayDataset drives the full binary path on a finite replay:
+// train on a registry dataset, replay it, write every sink and exit dump,
+// and exit cleanly without a signal.
+func TestRunReplayDataset(t *testing.T) {
+	dir := t.TempDir()
+	alerts := filepath.Join(dir, "alerts.jsonl")
+	connlog := filepath.Join(dir, "conn.log")
+	metrics := filepath.Join(dir, "metrics.prom")
+	trace := filepath.Join(dir, "trace.json")
+	o := parseFlags([]string{
+		"-pipeline", testPipelineJSON(t),
+		"-train", "F1", "-train-scale", "0.05",
+		"-replay-dataset", "F1", "-replay-scale", "0.05",
+		"-chunk-rows", "32",
+		"-alerts", alerts, "-connlog", connlog,
+		"-metrics-out", metrics, "-trace-out", trace,
+		"-listen", "",
+	}, flag.ContinueOnError)
+	var out bytes.Buffer
+	if err := run(o, &out, make(chan os.Signal)); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), `pipeline "lumend-test" stopped`) {
+		t.Fatalf("no clean shutdown line in output:\n%s", out.String())
+	}
+
+	data, err := os.ReadFile(alerts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	want := len(testDS(t).Packets)
+	if len(lines) != want {
+		t.Fatalf("alert lines = %d, want %d (one per replayed packet)", len(lines), want)
+	}
+	var a struct {
+		Pipeline string `json:"pipeline"`
+		ModelGen int    `json:"model_gen"`
+	}
+	if err := json.Unmarshal(lines[0], &a); err != nil {
+		t.Fatalf("first alert line is not JSON: %v", err)
+	}
+	if a.Pipeline != "lumend-test" || a.ModelGen != 1 {
+		t.Fatalf("first alert = %+v", a)
+	}
+
+	for name, path := range map[string]string{"connlog": connlog, "metrics": metrics, "trace": trace} {
+		st, err := os.Stat(path)
+		if err != nil || st.Size() == 0 {
+			t.Fatalf("%s sink empty or missing (err %v)", name, err)
+		}
+	}
+	prom, _ := os.ReadFile(metrics)
+	if !bytes.Contains(prom, []byte("lumen_daemon_verdicts_total")) {
+		t.Fatalf("metrics dump missing daemon counters:\n%.300s", prom)
+	}
+}
+
+// TestRunReplicas runs two replicated pipelines over one replay and
+// checks the per-replica naming and sink suffixing.
+func TestRunReplicas(t *testing.T) {
+	dir := t.TempDir()
+	alerts := filepath.Join(dir, "alerts.jsonl")
+	o := parseFlags([]string{
+		"-pipeline", testPipelineJSON(t),
+		"-train", "F1", "-train-scale", "0.05",
+		"-replay-dataset", "F1", "-replay-scale", "0.05",
+		"-chunk-rows", "64", "-pipes", "2",
+		"-alerts", alerts, "-listen", "",
+	}, flag.ContinueOnError)
+	var out bytes.Buffer
+	if err := run(o, &out, make(chan os.Signal)); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, name := range []string{"lumend-test-0", "lumend-test-1"} {
+		if !strings.Contains(out.String(), `pipeline "`+name+`" stopped`) {
+			t.Fatalf("replica %s did not stop cleanly:\n%s", name, out.String())
+		}
+	}
+	for _, suffix := range []string{".0", ".1"} {
+		st, err := os.Stat(alerts + suffix)
+		if err != nil || st.Size() == 0 {
+			t.Fatalf("replica alert sink %s empty or missing (err %v)", alerts+suffix, err)
+		}
+	}
+}
+
+// syncBuf is a bytes.Buffer safe for the writer (run) and reader (test)
+// to use concurrently.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// writePcapInto atomically drops pkts as a pcap file into a watched dir.
+func writePcapInto(t *testing.T, dir, name string, link netpkt.LinkType, pkts []*netpkt.Packet) {
+	t.Helper()
+	tmp := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := pcap.NewWriter(f, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunScriptedSwapOnWatch exercises the long-running path end to end:
+// a watched capture directory feeds the pipeline, the scripted hot swap
+// promotes the (identical) candidate under live ingest, and a SIGTERM
+// drains cleanly.
+func TestRunScriptedSwapOnWatch(t *testing.T) {
+	ds := testDS(t)
+	plPath := testPipelineJSON(t)
+	model := trainModelFile(t, plPath, ds)
+	watchDir := t.TempDir()
+	writePcapInto(t, watchDir, "trace-000.pcap", ds.Link, ds.Packets[:100])
+
+	alerts := filepath.Join(t.TempDir(), "alerts.jsonl")
+	o := parseFlags([]string{
+		"-pipeline", plPath,
+		"-model", model,
+		"-watch", watchDir, "-watch-poll", "10ms",
+		"-chunk-rows", "8",
+		"-swap-model", model, "-swap-after-chunks", "2",
+		"-shadow-chunks", "2", "-max-disagree", "0",
+		"-alerts", alerts, "-listen", "",
+	}, flag.ContinueOnError)
+	out := &syncBuf{}
+	sigs := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(o, out, sigs) }()
+
+	// Keep rotating fresh captures in until a post-promotion verdict
+	// (model generation 2) lands in the alert stream.
+	deadline := time.Now().Add(20 * time.Second)
+	promoted := false
+	for i := 1; !promoted; i++ {
+		if time.Now().After(deadline) {
+			t.Fatalf("no generation-2 alert before deadline\noutput:\n%s", out.String())
+		}
+		base := (i * 20) % (len(ds.Packets) - 20)
+		writePcapInto(t, watchDir, fmt.Sprintf("trace-%03d.pcap", i), ds.Link, ds.Packets[base:base+20])
+		time.Sleep(50 * time.Millisecond)
+		if data, err := os.ReadFile(alerts); err == nil {
+			promoted = bytes.Contains(data, []byte(`"model_gen":2`))
+		}
+	}
+
+	sigs <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatalf("lumend did not drain on SIGTERM\noutput:\n%s", out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "swap promoted by auto") {
+		t.Fatalf("no promotion summary in output:\n%s", got)
+	}
+	if !strings.Contains(got, `pipeline "lumend-test" stopped`) {
+		t.Fatalf("no clean shutdown line in output:\n%s", got)
+	}
+}
+
+// TestLoadPcapErrors covers the replay loader's failure modes.
+func TestLoadPcapErrors(t *testing.T) {
+	if _, err := loadPcap(filepath.Join(t.TempDir(), "missing.pcap")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.pcap")
+	if err := os.WriteFile(bad, []byte("not a pcap"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadPcap(bad); err == nil {
+		t.Fatal("bad magic must error")
+	}
+}

@@ -15,8 +15,9 @@ import (
 //  1. every package under internal/ and cmd/ must carry a package
 //     comment (on any non-test file) explaining what it is; and
 //  2. in the packages whose API other layers program against —
-//     internal/obs and internal/core — every exported type, function,
-//     and method on an exported type must have a doc comment.
+//     internal/obs, internal/core, and internal/daemon (the operator
+//     surface behind cmd/lumend) — every exported type, function, and
+//     method on an exported type must have a doc comment.
 //
 // `make docs-lint` runs exactly this test; `make check` includes it.
 func TestDocLint(t *testing.T) {
@@ -24,7 +25,7 @@ func TestDocLint(t *testing.T) {
 	for _, dir := range pkgs {
 		checkPackageComment(t, dir)
 	}
-	for _, dir := range []string{"internal/obs", "internal/core"} {
+	for _, dir := range []string{"internal/obs", "internal/core", "internal/daemon"} {
 		checkExportedDocs(t, dir)
 	}
 }

@@ -473,3 +473,47 @@ func (e *Engine) TrainedModel() (mlkit.Classifier, bool) {
 	}
 	return nil, false
 }
+
+// ReplaceModel swaps the fitted classifier behind the pipeline's train op
+// in place, leaving every other piece of fitted state (scalers, filters,
+// PCA bases) untouched. It is the model half of a hot swap: a resident
+// pipeline installs an mlkit.SwapHandle here once, then retargets the
+// handle between chunks (see StreamHooks). The engine must already be
+// trained — ReplaceModel changes which classifier scores, not whether
+// the pipeline is fitted.
+func (e *Engine) ReplaceModel(clf mlkit.Classifier) error {
+	for _, op := range e.P.Ops {
+		if op.Func != "train" {
+			continue
+		}
+		tr, ok := e.state[op.Output].(*Trained)
+		if !ok {
+			return fmt.Errorf("core: ReplaceModel on untrained pipeline %q", e.P.Name)
+		}
+		tr.Clf = clf
+		return nil
+	}
+	return fmt.Errorf("core: pipeline %q has no train op", e.P.Name)
+}
+
+// InstallModel installs an externally fitted classifier (e.g. loaded via
+// mlkit.LoadModel) as the pipeline's trained model and marks the engine
+// trained, without running a training pass. This only yields a correctly
+// fitted pipeline when no other op needs training-time state: pipelines
+// whose test path is preprocessing-stateless (field extraction, filters,
+// log scaling) qualify; pipelines with normalize/pca/onehot ops do not —
+// train those with Train/TrainStream instead.
+func (e *Engine) InstallModel(clf mlkit.Classifier) error {
+	if err := e.Check(); err != nil {
+		return err
+	}
+	for _, op := range e.P.Ops {
+		if op.Func != "train" {
+			continue
+		}
+		e.state[op.Output] = &Trained{Spec: ModelSpec{Type: "installed"}, Clf: clf}
+		e.trained = true
+		return nil
+	}
+	return fmt.Errorf("core: pipeline %q has no train op", e.P.Name)
+}

@@ -19,6 +19,20 @@ const (
 	UnitGroup
 )
 
+// String names the unit kind ("packet", "flow", "group").
+func (k UnitKind) String() string {
+	switch k {
+	case UnitPacket:
+		return "packet"
+	case UnitFlow:
+		return "flow"
+	case UnitGroup:
+		return "group"
+	default:
+		return fmt.Sprintf("unit(%d)", int(k))
+	}
+}
+
 // Column is one named column: numeric (F) or categorical (S), never both.
 type Column struct {
 	Name string

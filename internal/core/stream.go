@@ -38,6 +38,11 @@ type StreamConfig struct {
 	// times) stay on the in-order router. Results remain bit-identical to
 	// Shards=1 at any shard count; see DESIGN.md "Flow-sharded sink".
 	Shards int
+	// Hooks are optional per-chunk lifecycle callbacks (see StreamHooks).
+	// Setting an AfterChunk hook demotes Shards to 1, because lanes score
+	// concurrently with absorption and would race callback-driven model
+	// mutation.
+	Hooks *StreamHooks
 }
 
 // pipelined reports whether the config selects the staged pipeline.
@@ -305,6 +310,14 @@ func (e *Engine) RunStream(src dataset.Source, mode Mode, cfg StreamConfig) (*Ev
 	r, err := newStreamExec(e, src, mode)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Hooks.active() {
+		r.hooks = cfg.Hooks
+		// Sharded lanes score concurrently with the merger's absorption,
+		// so a callback mutating model state between absorbs would race a
+		// lane mid-score. Demote to the single ordered sink, where the
+		// hook's exactly-one-model-per-chunk contract holds.
+		cfg.Shards = 1
 	}
 	if cfg.pipelined() {
 		return r.runPipelined(src, cfg)

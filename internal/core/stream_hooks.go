@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"lumen/internal/netpkt"
+)
+
+// ChunkUpdate describes one chunk a RunStream pass has fully absorbed:
+// its position in the stream, its packets, and the verdicts streamed
+// scoring produced for it. It is handed to StreamHooks.AfterChunk so a
+// resident consumer (the detection daemon) can emit alerts and drive
+// model lifecycle operations chunk-by-chunk instead of waiting for the
+// pass to finish.
+type ChunkUpdate struct {
+	// Seq is the chunk's sequence number within the pass (0-based).
+	Seq int
+	// Base is the global index of the chunk's first packet.
+	Base int
+	// Packets are the chunk's packets. They are valid only for the
+	// duration of the callback: recycling sources reclaim the underlying
+	// buffers afterwards, so callbacks must not retain the slice or
+	// anything aliasing the packets' Data/Payload.
+	Packets []*netpkt.Packet
+	// Results are the evaluation results streamed test-mode scoring
+	// produced for this chunk, in op order. Empty on training passes, on
+	// chunks with no scored rows, and on pipelines whose scoring is
+	// deferred to the flush pass (flow granularities, barrier suffixes) —
+	// those verdicts appear only in RunStream's final merged result.
+	Results []*EvalResult
+}
+
+// StreamHooks are per-chunk lifecycle callbacks of one RunStream pass.
+//
+// AfterChunk runs once per absorbed chunk, in stream order, on the same
+// goroutine that executes the ordered streamed ops — including model
+// scoring — after the chunk's results are final and before the next
+// chunk's ordered ops run. That ordering is the hook's contract: a
+// callback may mutate fitted model state (hot swap via
+// Engine.ReplaceModel or an mlkit.SwapHandle) with the guarantee that
+// every chunk is scored by exactly one model configuration and no chunk
+// is ever mid-score while the callback runs. A non-nil error aborts the
+// stream exactly like a failing op.
+//
+// Because sharded sinks score lanes concurrently with absorption, setting
+// hooks demotes StreamConfig.Shards to 1; every other pipeline shape
+// (sequential, pipelined with workers) is supported and bit-identical.
+type StreamHooks struct {
+	// AfterChunk is called after each chunk is absorbed; see the type
+	// comment for the execution contract. Nil disables the hook.
+	AfterChunk func(ChunkUpdate) error
+}
+
+// active reports whether any callback is set.
+func (h *StreamHooks) active() bool {
+	return h != nil && h.AfterChunk != nil
+}
+
+// afterChunk invokes the AfterChunk hook for one absorbed job.
+func (r *streamExec) afterChunk(job *chunkJob) error {
+	if !r.hooks.active() {
+		return nil
+	}
+	up := ChunkUpdate{
+		Seq:     job.nc.Seq,
+		Base:    job.nc.Base,
+		Packets: job.nc.Packets,
+		Results: job.results,
+	}
+	if err := r.hooks.AfterChunk(up); err != nil {
+		return fmt.Errorf("core: after-chunk hook (chunk %d): %w", job.nc.Seq, err)
+	}
+	return nil
+}

@@ -29,6 +29,9 @@ type streamExec struct {
 	// run (nil otherwise); finish() merges their flow logs back into the
 	// canonical order.
 	lanes []*shardLane
+	// hooks are the pass's per-chunk callbacks (nil when unhooked); absorb
+	// invokes them on the ordered sink goroutine.
+	hooks *StreamHooks
 	prof  []OpStats
 
 	accum   map[string][]*Frame
@@ -333,7 +336,10 @@ func (r *streamExec) absorb(job *chunkJob) error {
 		r.e.Metrics.Counter("lumen_chunks_total",
 			"Chunks pulled from packet sources by streaming runs.").Inc()
 	}
-	return nil
+	// The hook runs last, once the chunk is fully folded into the run, so
+	// callbacks observe a consistent pass state. Its error aborts the
+	// stream exactly like an op failure in this chunk would have.
+	return r.afterChunk(job)
 }
 
 // finish runs the deferred (barrier) suffix with batch semantics over

@@ -1,0 +1,37 @@
+package daemon
+
+// Alert is one JSONL line on a pipeline's alert sink: the verdict for a
+// single scored unit (packet, flow, or group). Lines are newline-
+// delimited JSON objects, one per unit, written in scoring order. The
+// field-by-field schema is documented for operators in OPERATIONS.md.
+type Alert struct {
+	// TS is the wall-clock emission time (RFC 3339, UTC, ns precision).
+	TS string `json:"ts"`
+	// Pipeline is the emitting pipeline's registry name.
+	Pipeline string `json:"pipeline"`
+	// Seq is the stream chunk sequence number the unit was scored in,
+	// or -1 for verdicts that materialize at drain (Phase "flush").
+	Seq int `json:"seq"`
+	// Phase is "stream" for verdicts emitted while chunks flow, "flush"
+	// for deferred verdicts written at drain (flow-granularity
+	// pipelines, barrier suffixes).
+	Phase string `json:"phase"`
+	// Unit names the scored row unit: "packet", "flow", or "group".
+	Unit string `json:"unit"`
+	// Index is the unit's global index in the ingested stream (packet
+	// index or flow index), -1 when the pipeline drops the mapping.
+	Index int `json:"index"`
+	// Pred is the model's verdict: 1 anomalous, 0 benign.
+	Pred int `json:"pred"`
+	// Score is the positive-class score when the model exposes one.
+	Score *float64 `json:"score,omitempty"`
+	// Truth is the ground-truth label when the source carries labels
+	// (replayed corpora); 0 on unlabeled live traffic.
+	Truth int `json:"truth"`
+	// Attack is the ground-truth attack name ("" = benign/unknown).
+	Attack string `json:"attack,omitempty"`
+	// ModelGen is the model generation that produced the verdict; it
+	// increments on every promoted hot swap, so alerts remain
+	// attributable across swaps.
+	ModelGen int `json:"model_gen"`
+}

@@ -1,0 +1,242 @@
+package daemon
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"lumen/internal/dataset"
+	"lumen/internal/netpkt"
+)
+
+// MaxFrameBytes caps one framed-feed payload (timestamp + packet bytes).
+// Frames above it are rejected as protocol corruption, protecting the
+// daemon from a bad length prefix allocating gigabytes.
+const MaxFrameBytes = 1 << 22
+
+// FeedSource ingests packets pushed over a network listener (TCP or unix
+// socket) in a length-prefixed frame format — the push counterpart of
+// pcap replay, for feeding lumend from a capture process on another
+// host. Any number of producers may connect; their packets interleave in
+// arrival order. FeedSource is not resettable: a live feed has no
+// beginning to rewind to, so Reload does not apply.
+//
+// Frame wire format, all integers big-endian:
+//
+//	uint32 length   // byte length of the remainder of the frame
+//	uint64 ts_ns    // packet timestamp, Unix nanoseconds
+//	bytes  packet   // raw link-layer packet bytes (length - 8 of them)
+//
+// WriteFrame emits this format.
+type FeedSource struct {
+	name string
+	link netpkt.LinkType
+	ln   net.Listener
+	pkts chan *netpkt.Packet
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	readers  sync.WaitGroup
+
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	err     error
+	base    int
+	emitted bool
+}
+
+// NewFeedSource starts accepting producers on ln, decoding their frames
+// as link-layer packets of the given link type. buffer bounds how many
+// decoded packets may queue ahead of the pipeline (0 means 1024).
+func NewFeedSource(name string, ln net.Listener, link netpkt.LinkType, buffer int) *FeedSource {
+	if buffer <= 0 {
+		buffer = 1024
+	}
+	s := &FeedSource{
+		name:  name,
+		link:  link,
+		ln:    ln,
+		pkts:  make(chan *netpkt.Packet, buffer),
+		stop:  make(chan struct{}),
+		conns: map[net.Conn]struct{}{},
+	}
+	s.readers.Add(1)
+	go s.accept()
+	go func() {
+		s.readers.Wait()
+		close(s.pkts)
+	}()
+	return s
+}
+
+// Addr returns the listener's address (where producers connect).
+func (s *FeedSource) Addr() net.Addr { return s.ln.Addr() }
+
+// accept admits producer connections until the listener closes.
+func (s *FeedSource) accept() {
+	defer s.readers.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.stop: // expected: Drain closed the listener
+			default:
+				s.setErr(fmt.Errorf("daemon: feed %q: accept: %w", s.name, err))
+			}
+			return
+		}
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.readers.Add(1)
+		go s.read(c)
+	}
+}
+
+// read decodes frames from one producer until it disconnects or drain.
+func (s *FeedSource) read(c net.Conn) {
+	defer s.readers.Done()
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(c, hdr[:]); err != nil {
+			if !errors.Is(err, io.EOF) && !isClosed(err) {
+				s.setErr(fmt.Errorf("daemon: feed %q: frame header: %w", s.name, err))
+			}
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n < 8 || n > MaxFrameBytes {
+			s.setErr(fmt.Errorf("daemon: feed %q: frame length %d out of range [8, %d]", s.name, n, MaxFrameBytes))
+			return
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			s.setErr(fmt.Errorf("daemon: feed %q: frame body: %w", s.name, err))
+			return
+		}
+		ts := time.Unix(0, int64(binary.BigEndian.Uint64(buf[:8]))).UTC()
+		pkt := netpkt.Decode(buf[8:], s.link, ts)
+		select {
+		case s.pkts <- pkt:
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// isClosed reports the use-of-closed-connection errors that drain
+// provokes on purpose.
+func isClosed(err error) bool {
+	return errors.Is(err, net.ErrClosed)
+}
+
+// setErr records the first feed error for Err.
+func (s *FeedSource) setErr(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// Meta implements dataset.Source. Live feeds carry no ground truth and
+// stream at packet granularity.
+func (s *FeedSource) Meta() dataset.SourceMeta {
+	return dataset.SourceMeta{Name: s.name, Granularity: dataset.Packet, Link: s.link}
+}
+
+// Next implements dataset.Source: it blocks for the first available
+// packet, then batches whatever else already arrived up to the chunk
+// bounds. The stream ends after Drain, once the queued packets are
+// consumed.
+func (s *FeedSource) Next(maxRows, maxBytes int) (dataset.Chunk, bool) {
+	first, ok := <-s.pkts
+	if !ok {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if !s.emitted {
+			s.emitted = true
+			return dataset.Chunk{Base: s.base}, true
+		}
+		return dataset.Chunk{}, false
+	}
+	batch := []*netpkt.Packet{first}
+	bytes := first.WireLen()
+	for (maxRows <= 0 || len(batch) < maxRows) && (maxBytes <= 0 || bytes < maxBytes) {
+		select {
+		case p, more := <-s.pkts:
+			if !more {
+				goto done
+			}
+			batch = append(batch, p)
+			bytes += p.WireLen()
+		default:
+			goto done
+		}
+	}
+done:
+	s.mu.Lock()
+	ck := dataset.Chunk{
+		Base:    s.base,
+		Packets: batch,
+		Labels:  make([]int, len(batch)),
+		Attacks: make([]string, len(batch)),
+	}
+	s.base += len(batch)
+	s.emitted = true
+	s.mu.Unlock()
+	return ck, true
+}
+
+// Reset implements dataset.Source; live feeds cannot rewind.
+func (s *FeedSource) Reset() error {
+	return fmt.Errorf("daemon: feed %q: live feeds cannot be reset", s.name)
+}
+
+// Drain implements Drainer: the listener and every producer connection
+// close; packets already queued still reach the pipeline, then the
+// stream ends.
+func (s *FeedSource) Drain() {
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		s.ln.Close()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+	})
+}
+
+// Err implements the optional error surface: the first protocol or
+// listener error observed (producer disconnects are not errors).
+func (s *FeedSource) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// WriteFrame writes one framed packet in the FeedSource wire format.
+func WriteFrame(w io.Writer, ts time.Time, pkt []byte) error {
+	if len(pkt)+8 > MaxFrameBytes {
+		return fmt.Errorf("daemon: WriteFrame: packet of %d bytes exceeds the %d-byte frame cap", len(pkt), MaxFrameBytes-8)
+	}
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(pkt)+8))
+	binary.BigEndian.PutUint64(hdr[4:], uint64(ts.UnixNano()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(pkt)
+	return err
+}

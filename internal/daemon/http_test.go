@@ -1,0 +1,210 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"lumen/internal/core"
+	"lumen/internal/dataset"
+	"lumen/internal/mlkit"
+	"lumen/internal/obs"
+)
+
+// httpGet fetches a URL and returns status + body.
+func httpGet(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// httpPost posts to a URL and returns status + body.
+func httpPost(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestDaemonHTTP drives two concurrent pipelines end-to-end over the
+// operational HTTP surface: status listing, a hot swap from a persisted
+// model file, drain, /metrics, /trace, and the error paths.
+func TestDaemonHTTP(t *testing.T) {
+	ds := testDS(t)
+	rows := chunkRowsFor(len(ds.Packets), 20)
+
+	// A promotable candidate, persisted the way an offline trainer would.
+	clf, ok := trainedEngine(t, ds).TrainedModel()
+	if !ok {
+		t.Fatal("no trained model")
+	}
+	modelPath := filepath.Join(t.TempDir(), "candidate.json")
+	if err := mlkit.SaveModel(modelPath, clf); err != nil {
+		t.Fatal(err)
+	}
+
+	d := New(Config{Metrics: obs.NewMetrics(), Tracer: obs.NewTracer()})
+	gate := newGate(dataset.NewSliceSource(ds))
+	var alertsA, alertsB bytes.Buffer
+	if _, err := d.Start(PipeConfig{
+		Name:   "gated",
+		Engine: trainedEngine(t, ds),
+		Source: gate,
+		Stream: core.StreamConfig{ChunkRows: rows},
+		Alerts: &alertsA,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Start(PipeConfig{
+		Name:   "free",
+		Engine: trainedEngine(t, ds),
+		Source: NewReplaySource(dataset.NewSliceSource(ds), 0),
+		Stream: core.StreamConfig{ChunkRows: rows},
+		Alerts: &alertsB,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	if code, body := httpGet(t, srv.URL+"/healthz"); code != 200 || !bytes.Contains(body, []byte("ok")) {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	var listed []PipeStatus
+	code, body := httpGet(t, srv.URL+"/pipelines")
+	if code != 200 {
+		t.Fatalf("/pipelines = %d %s", code, body)
+	}
+	if err := json.Unmarshal(body, &listed); err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != 2 || listed[0].Name != "free" || listed[1].Name != "gated" {
+		t.Fatalf("/pipelines listed %+v", listed)
+	}
+
+	// Swap over HTTP: queue the request (it blocks until a chunk
+	// boundary), then feed chunks so it applies and auto-promotes.
+	p, _ := d.Pipe("gated")
+	gate.allow(2)
+	waitFor(t, 5*time.Second, "2 chunks", func() bool { return p.Status().Chunks >= 2 })
+	swapped := make(chan struct{})
+	go func() {
+		defer close(swapped)
+		u := fmt.Sprintf("%s/pipelines/gated/swap?model=%s&shadow=1&max-disagree=0&auto=true", srv.URL, modelPath)
+		if code, body := httpPost(t, u); code != 200 || !bytes.Contains(body, []byte(`"ok": true`)) {
+			t.Errorf("swap = %d %s", code, body)
+		}
+	}()
+	waitFor(t, 5*time.Second, "swap queued", func() bool { return len(p.ctrl) > 0 })
+	gate.allow(1)
+	select {
+	case <-swapped:
+	case <-time.After(10 * time.Second):
+		t.Fatal("HTTP swap never returned")
+	}
+	gate.allow(1) // one shadow chunk; identical model promotes
+	waitFor(t, 5*time.Second, "promotion", func() bool { return p.Status().ModelGeneration == 2 })
+
+	// Status of one pipeline.
+	code, body = httpGet(t, srv.URL+"/pipelines/gated")
+	var st PipeStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("/pipelines/gated = %d %s: %v", code, body, err)
+	}
+	if st.ModelGeneration != 2 || st.LastSwap == nil || st.LastSwap.Outcome != "promoted" {
+		t.Fatalf("status after HTTP swap = %+v", st)
+	}
+
+	// Drain both over HTTP; "gated" still has permits outstanding only
+	// for consumed chunks, so drain truncates it gracefully.
+	if code, body := httpPost(t, srv.URL+"/pipelines/gated/drain"); code != 200 {
+		t.Fatalf("drain gated = %d %s", code, body)
+	}
+	if code, body := httpPost(t, srv.URL+"/pipelines/free/drain"); code != 200 {
+		t.Fatalf("drain free = %d %s", code, body)
+	}
+	for _, name := range []string{"gated", "free"} {
+		_, body := httpGet(t, srv.URL+"/pipelines/"+name)
+		var st PipeStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State != "stopped" || st.Error != "" || st.Verdicts == 0 {
+			t.Fatalf("pipeline %s after drain: %+v", name, st)
+		}
+	}
+
+	// Observability endpoints.
+	code, body = httpGet(t, srv.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"lumen_daemon_pipelines 2",
+		`lumen_daemon_model_generation{pipeline="gated"} 2`,
+		`lumen_daemon_swaps_total{outcome="promoted",pipeline="gated"} 1`,
+		`lumen_daemon_chunks_total{pipeline="free"}`,
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if code, body := httpGet(t, srv.URL+"/trace"); code != 200 || !bytes.Contains(body, []byte("pipeline:gated")) {
+		t.Fatalf("/trace = %d (want pipeline spans): %.120s", code, body)
+	}
+	if code, _ := httpGet(t, srv.URL+"/trace?format=chrome"); code != 200 {
+		t.Fatalf("/trace?format=chrome = %d", code)
+	}
+
+	// Error paths.
+	if code, _ := httpGet(t, srv.URL+"/pipelines/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown pipeline = %d, want 404", code)
+	}
+	if code, _ := httpPost(t, srv.URL+"/pipelines/gated/frobnicate"); code != http.StatusNotFound {
+		t.Fatalf("unknown verb = %d, want 404", code)
+	}
+	if code, _ := httpGet(t, srv.URL+"/pipelines/gated/drain"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET on a control verb = %d, want 405", code)
+	}
+	if code, body := httpPost(t, srv.URL+"/pipelines/gated/promote"); code != http.StatusConflict ||
+		!bytes.Contains(body, []byte("not running")) {
+		t.Fatalf("promote on stopped pipeline = %d %s, want 409", code, body)
+	}
+	if code, _ := httpPost(t, srv.URL+"/pipelines/free/swap?model=/does/not/exist.json"); code != http.StatusConflict {
+		t.Fatalf("swap with a bad model path = %d, want 409", code)
+	}
+
+	// Both alert streams carried verdicts from their own pipeline only.
+	for name, buf := range map[string]*bytes.Buffer{"gated": &alertsA, "free": &alertsB} {
+		alerts := parseAlerts(t, buf.Bytes())
+		if len(alerts) == 0 {
+			t.Fatalf("pipeline %s wrote no alerts", name)
+		}
+		for _, a := range alerts {
+			if a.Pipeline != name {
+				t.Fatalf("pipeline %s emitted alert for %q", name, a.Pipeline)
+			}
+		}
+	}
+}

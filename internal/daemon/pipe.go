@@ -1,0 +1,753 @@
+package daemon
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lumen/internal/core"
+	"lumen/internal/dataset"
+	"lumen/internal/flow"
+	"lumen/internal/mlkit"
+	"lumen/internal/obs"
+)
+
+// ErrStopped is returned by control calls (Swap, Promote, Rollback,
+// Reload) once a pipeline is no longer running.
+var ErrStopped = errors.New("daemon: pipeline is not running")
+
+// State is a pipeline's lifecycle state.
+type State int
+
+// Pipeline lifecycle states, in the order they are reached. The numeric
+// value is exported as the lumen_daemon_pipeline_state gauge.
+const (
+	// StateRunning: the scoring goroutine is consuming the source.
+	StateRunning State = iota
+	// StateDraining: a drain was requested; the pipeline finishes the
+	// packets already ingested and then stops.
+	StateDraining
+	// StateStopped: the pipeline drained cleanly (conn-log written,
+	// alert sink flushed).
+	StateStopped
+	// StateFailed: the pipeline aborted with an error (see Status).
+	StateFailed
+)
+
+// String names the state ("running", "draining", "stopped", "failed").
+func (s State) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StateDraining:
+		return "draining"
+	case StateStopped:
+		return "stopped"
+	case StateFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Drainer is the optional source capability the daemon uses for graceful
+// drain: Drain asks the source to stop producing, after which its Next
+// returns false once the already-ingested packets are consumed. All
+// daemon sources (ReplaySource, FeedSource, DirSource) implement it;
+// finite sources without it simply run to their natural end.
+type Drainer interface {
+	Drain()
+}
+
+// PipeConfig describes one resident pipeline.
+type PipeConfig struct {
+	// Name identifies the pipeline in the registry, metrics labels, the
+	// HTTP surface, and every alert line. Required, unique per daemon.
+	Name string
+	// Engine is the trained engine to score with. The daemon takes
+	// exclusive ownership: it installs a mlkit.SwapHandle behind the
+	// train op (enabling hot swap) and drives the engine from the
+	// pipeline's goroutine. Do not share one engine across pipelines.
+	Engine *core.Engine
+	// Source is the packet source to ingest. Sources implementing
+	// Drainer drain gracefully; sources implementing Reset support
+	// Reload.
+	Source dataset.Source
+	// Stream bounds chunking and execution shape. Hooks must be nil —
+	// the per-chunk hook slot is how the daemon drives the pipeline.
+	Stream core.StreamConfig
+	// Alerts receives one JSONL verdict line per scored unit (see Alert).
+	// Nil disables the alert sink. The writer is only accessed from the
+	// pipeline's goroutine.
+	Alerts io.Writer
+	// AnomaliesOnly suppresses alert lines for units predicted benign
+	// (pred 0), keeping only anomalies. Verdict counters still count
+	// every scored unit.
+	AnomaliesOnly bool
+	// ConnLog receives a Zeek-style TSV connection log, written once at
+	// drain. The log is bit-identical to flow.Connections over the same
+	// trace: evictions accumulate during streaming and one global sort
+	// runs at the end.
+	ConnLog io.Writer
+	// FlowOpts configures the conn-log assembler (idle timeout).
+	FlowOpts flow.Options
+}
+
+// SwapOptions configures one hot-swap attempt.
+type SwapOptions struct {
+	// ShadowChunks is the number of chunks to shadow-score before the
+	// auto decision (default 8 when AutoDecide is set).
+	ShadowChunks int
+	// AutoDecide promotes automatically once ShadowChunks chunks were
+	// shadow-scored and the disagreement fraction is at most MaxDisagree,
+	// and rolls back otherwise. When false the swap shadows until an
+	// explicit Promote or Rollback call.
+	AutoDecide bool
+	// MaxDisagree is the largest tolerated disagreement fraction for an
+	// automatic promote (0 demands bit-identical verdicts).
+	MaxDisagree float64
+}
+
+// SwapReport is the terminal record of one hot-swap attempt.
+type SwapReport struct {
+	// Outcome is "promoted" or "rolled_back".
+	Outcome string `json:"outcome"`
+	// By records who decided: "auto" or "operator".
+	By string `json:"by"`
+	// Generation is the active generation after the decision.
+	Generation int `json:"generation"`
+	// Chunks and Rows tally what the shadow phase scored.
+	Chunks int `json:"chunks"`
+	Rows   int `json:"rows"`
+	// DisagreeFrac and ScoreMAD are the final divergence numbers.
+	DisagreeFrac float64 `json:"disagree_frac"`
+	ScoreMAD     float64 `json:"score_mad"`
+}
+
+// PipeStatus is a pipeline's observable state, as served by /pipelines.
+type PipeStatus struct {
+	Name  string `json:"name"`
+	State string `json:"state"`
+	// Passes counts RunStream passes (reloads start a new pass).
+	Passes  int64 `json:"passes"`
+	Chunks  int64 `json:"chunks"`
+	Packets int64 `json:"packets"`
+	// Verdicts counts scored units; Alerts counts emitted alert lines.
+	Verdicts int64 `json:"verdicts"`
+	Alerts   int64 `json:"alerts"`
+	Reloads  int64 `json:"reloads"`
+	// ModelGeneration is the active model's generation (1 = initial).
+	ModelGeneration int `json:"model_generation"`
+	// Shadowing reports an in-progress hot swap, with its live divergence.
+	Shadowing      bool        `json:"shadowing"`
+	ShadowChunks   int         `json:"shadow_chunks,omitempty"`
+	ShadowDisagree float64     `json:"shadow_disagree,omitempty"`
+	ShadowScoreMAD float64     `json:"shadow_score_mad,omitempty"`
+	LastSwap       *SwapReport `json:"last_swap,omitempty"`
+	Error          string      `json:"error,omitempty"`
+}
+
+// ctrlKind discriminates control messages.
+type ctrlKind int
+
+const (
+	ctrlSwap ctrlKind = iota
+	ctrlPromote
+	ctrlRollback
+)
+
+// ctrlMsg is one queued control-plane request. Messages are applied
+// between chunks on the scoring goroutine (see Pipe.afterChunk), so a
+// control action only ever takes effect on a chunk boundary.
+type ctrlMsg struct {
+	kind  ctrlKind
+	clf   mlkit.Classifier
+	opts  SwapOptions
+	reply chan error
+}
+
+// Pipe is one resident pipeline: a trained engine scoring a source on a
+// dedicated goroutine. Control methods (Swap, Promote, Rollback, Reload,
+// Drain) are safe to call from any goroutine; they take effect on the
+// next chunk boundary.
+type Pipe struct {
+	name    string
+	d       *Daemon
+	metrics *obs.Metrics
+	tracer  *obs.Tracer
+	tid     int
+
+	eng    *core.Engine
+	handle *mlkit.SwapHandle
+	src    dataset.Source
+	stream core.StreamConfig
+
+	alertw        *bufio.Writer
+	enc           *json.Encoder
+	anomaliesOnly bool
+	connw         io.Writer
+	conn          *flow.ConnAssembler
+
+	ctrl chan ctrlMsg
+	done chan struct{}
+
+	// mu guards control-side state read by Status and the run loop.
+	mu            sync.Mutex
+	state         State
+	runErr        error
+	stopReq       bool
+	reloadPending bool
+	lastSwap      *SwapReport
+
+	// Scoring-goroutine-only state (touched exclusively from afterChunk
+	// and the run loop; never locked).
+	streamedRows int
+	pktIdx       int
+	connDone     []*flow.Connection
+	swapOpts     SwapOptions
+	span         *obs.Span
+
+	passes   atomic.Int64
+	chunks   atomic.Int64
+	packets  atomic.Int64
+	verdicts atomic.Int64
+	alerts   atomic.Int64
+	reloads  atomic.Int64
+
+	mChunks, mPackets, mVerdicts, mAlerts *obs.Counter
+	mPasses, mReloads                     *obs.Counter
+	mState, mGen, mShadowing              *obs.Gauge
+}
+
+// newPipe validates cfg and builds the pipeline without starting it.
+func (d *Daemon) newPipe(cfg PipeConfig) (*Pipe, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("daemon: PipeConfig.Name is required")
+	}
+	if cfg.Engine == nil || cfg.Source == nil {
+		return nil, fmt.Errorf("daemon: pipeline %q needs both an engine and a source", cfg.Name)
+	}
+	if cfg.Stream.Hooks != nil {
+		return nil, fmt.Errorf("daemon: pipeline %q: StreamConfig.Hooks is owned by the daemon", cfg.Name)
+	}
+	clf, ok := cfg.Engine.TrainedModel()
+	if !ok {
+		return nil, fmt.Errorf("daemon: pipeline %q has no trained model; train or install one first", cfg.Name)
+	}
+	handle, isHandle := clf.(*mlkit.SwapHandle)
+	if !isHandle {
+		handle = mlkit.NewSwapHandle(clf)
+		if err := cfg.Engine.ReplaceModel(handle); err != nil {
+			return nil, err
+		}
+	}
+	p := &Pipe{
+		name:          cfg.Name,
+		d:             d,
+		metrics:       d.metrics,
+		tracer:        d.tracer,
+		eng:           cfg.Engine,
+		handle:        handle,
+		src:           cfg.Source,
+		stream:        cfg.Stream,
+		anomaliesOnly: cfg.AnomaliesOnly,
+		ctrl:          make(chan ctrlMsg, 16),
+		done:          make(chan struct{}),
+		state:         StateRunning,
+	}
+	p.stream.Hooks = &core.StreamHooks{AfterChunk: p.afterChunk}
+	if cfg.Alerts != nil {
+		p.alertw = bufio.NewWriter(cfg.Alerts)
+		p.enc = json.NewEncoder(p.alertw)
+	}
+	if cfg.ConnLog != nil {
+		p.connw = cfg.ConnLog
+		p.conn = flow.NewConnAssembler(cfg.FlowOpts)
+	}
+	lbl := []string{"pipeline", p.name}
+	m := d.metrics
+	p.mChunks = m.Counter("lumen_daemon_chunks_total", "Chunks scored, per pipeline.", lbl...)
+	p.mPackets = m.Counter("lumen_daemon_packets_total", "Packets ingested, per pipeline.", lbl...)
+	p.mVerdicts = m.Counter("lumen_daemon_verdicts_total", "Units scored, per pipeline.", lbl...)
+	p.mAlerts = m.Counter("lumen_daemon_alerts_total", "Alert lines written, per pipeline.", lbl...)
+	p.mPasses = m.Counter("lumen_daemon_passes_total", "RunStream passes, per pipeline.", lbl...)
+	p.mReloads = m.Counter("lumen_daemon_reloads_total", "Completed reloads, per pipeline.", lbl...)
+	p.mState = m.Gauge("lumen_daemon_pipeline_state", "Lifecycle state (0 running, 1 draining, 2 stopped, 3 failed).", lbl...)
+	p.mGen = m.Gauge("lumen_daemon_model_generation", "Active model generation, per pipeline.", lbl...)
+	p.mShadowing = m.Gauge("lumen_daemon_swap_shadowing", "1 while a hot swap is shadow-scoring.", lbl...)
+	p.mState.Set(float64(StateRunning))
+	p.mGen.Set(float64(handle.Generation()))
+	return p, nil
+}
+
+// Name returns the pipeline's registry name.
+func (p *Pipe) Name() string { return p.name }
+
+// Done returns a channel closed when the pipeline has fully stopped
+// (conn-log written, sinks flushed).
+func (p *Pipe) Done() <-chan struct{} { return p.done }
+
+// run is the pipeline goroutine: one RunStream pass per loop iteration,
+// looping only when a reload was requested.
+func (p *Pipe) run() {
+	defer close(p.done)
+	for {
+		p.passes.Add(1)
+		p.mPasses.Inc()
+		p.streamedRows = 0
+		if p.tracer != nil {
+			p.span = p.tracer.Start("pipeline:"+p.name, p.tid)
+		}
+		p.eng.Span = p.span
+		res, err := p.eng.RunStream(p.src, core.ModeTest, p.stream)
+		p.eng.Span = nil
+		if err == nil && res != nil {
+			err = p.writeTail(res)
+		}
+		if err == nil {
+			err = p.flushAlerts()
+		}
+		if p.span != nil {
+			p.span.Set("chunks", p.eng.LastStream.Chunks)
+			p.span.Set("pass", p.passes.Load())
+			p.span.End()
+			p.span = nil
+		}
+		p.mu.Lock()
+		if err != nil {
+			p.runErr = err
+			p.setStateLocked(StateFailed)
+			p.mu.Unlock()
+			break
+		}
+		if p.reloadPending && !p.stopReq {
+			p.reloadPending = false
+			p.mu.Unlock()
+			if rerr := p.src.Reset(); rerr != nil {
+				p.mu.Lock()
+				p.runErr = fmt.Errorf("daemon: reload %q: %w", p.name, rerr)
+				p.setStateLocked(StateFailed)
+				p.mu.Unlock()
+				break
+			}
+			p.reloads.Add(1)
+			p.mReloads.Inc()
+			continue
+		}
+		p.setStateLocked(StateStopped)
+		p.mu.Unlock()
+		break
+	}
+	p.finalize()
+}
+
+// setStateLocked records the state transition; callers hold p.mu.
+func (p *Pipe) setStateLocked(s State) {
+	p.state = s
+	p.mState.Set(float64(s))
+}
+
+// finalize writes the conn-log, flushes sinks, and fails any control
+// requests still queued. It runs exactly once, just before done closes.
+func (p *Pipe) finalize() {
+	if p.conn != nil && p.connw != nil {
+		// Mirror flow.Connections exactly: accumulated evictions plus the
+		// final flush, then one global sort — this is what makes a drained
+		// conn-log bit-identical to the batch driver over the same trace.
+		conns := append(p.connDone, p.conn.Flush()...)
+		flow.SortConnections(conns)
+		if err := flow.WriteConnLog(p.connw, conns); err != nil {
+			p.recordErr(fmt.Errorf("daemon: conn-log %q: %w", p.name, err))
+		}
+		p.connDone = nil
+	}
+	if err := p.flushAlerts(); err != nil {
+		p.recordErr(err)
+	}
+	for {
+		select {
+		case m := <-p.ctrl:
+			if m.reply != nil {
+				m.reply <- ErrStopped
+			}
+		default:
+			return
+		}
+	}
+}
+
+// recordErr keeps the first terminal error and flips the state to failed.
+func (p *Pipe) recordErr(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.runErr == nil {
+		p.runErr = err
+		p.setStateLocked(StateFailed)
+	}
+}
+
+// afterChunk is the core.StreamHooks.AfterChunk callback — the heart of
+// the pipeline. It runs once per chunk, in stream order, on the scoring
+// goroutine, with the chunk's verdicts final. In order: emit alerts,
+// fold packets into the conn-log assembler, bump counters, apply queued
+// control messages, and advance any in-progress swap. Because control
+// messages are applied after this chunk's verdicts were written, every
+// chunk is attributable to exactly one model generation.
+func (p *Pipe) afterChunk(up core.ChunkUpdate) error {
+	gen := p.handle.Generation()
+	rows := 0
+	for _, res := range up.Results {
+		n := resRows(res)
+		if err := p.writeRange(res, 0, n, up.Seq, gen, "stream"); err != nil {
+			return err
+		}
+		rows += n
+	}
+	p.streamedRows += rows
+	if err := p.flushAlerts(); err != nil {
+		return err
+	}
+	if p.conn != nil {
+		for i, pkt := range up.Packets {
+			if evicted := p.conn.Add(p.pktIdx+i, pkt); len(evicted) > 0 {
+				p.connDone = append(p.connDone, evicted...)
+			}
+		}
+	}
+	p.pktIdx += len(up.Packets)
+	p.chunks.Add(1)
+	p.packets.Add(int64(len(up.Packets)))
+	p.mChunks.Inc()
+	p.mPackets.Add(uint64(len(up.Packets)))
+	p.pumpCtrl()
+	p.updateSwap()
+	return nil
+}
+
+// writeTail emits the verdicts that only materialize when the stream
+// flushes (deferred ops: flow-granularity pipelines, barrier suffixes).
+// RunStream merges them after the streamed rows, so the tail is
+// everything past the streamed-row counter.
+func (p *Pipe) writeTail(res *core.EvalResult) error {
+	n := resRows(res)
+	if p.streamedRows >= n {
+		return nil
+	}
+	return p.writeRange(res, p.streamedRows, n, -1, p.handle.Generation(), "flush")
+}
+
+// resRows is the verdict row count of one result.
+func resRows(res *core.EvalResult) int {
+	n := len(res.Pred)
+	if len(res.Truth) > n {
+		n = len(res.Truth)
+	}
+	return n
+}
+
+// writeRange emits alert lines for rows [from, to) of res and counts
+// them as verdicts.
+func (p *Pipe) writeRange(res *core.EvalResult, from, to, seq, gen int, phase string) error {
+	p.verdicts.Add(int64(to - from))
+	p.mVerdicts.Add(uint64(to - from))
+	if p.enc == nil {
+		return nil
+	}
+	unit := res.Unit.String()
+	wrote := 0
+	for i := from; i < to; i++ {
+		pred := 0
+		if i < len(res.Pred) {
+			pred = res.Pred[i]
+		}
+		if p.anomaliesOnly && pred != 1 {
+			continue
+		}
+		a := Alert{
+			TS:       time.Now().UTC().Format(time.RFC3339Nano),
+			Pipeline: p.name,
+			Seq:      seq,
+			Phase:    phase,
+			Unit:     unit,
+			Index:    -1,
+			Pred:     pred,
+			ModelGen: gen,
+		}
+		if i < len(res.UnitIdx) {
+			a.Index = res.UnitIdx[i]
+		}
+		if i < len(res.Truth) {
+			a.Truth = res.Truth[i]
+		}
+		if i < len(res.Attacks) {
+			a.Attack = res.Attacks[i]
+		}
+		if i < len(res.Scores) {
+			s := res.Scores[i]
+			a.Score = &s
+		}
+		if err := p.enc.Encode(a); err != nil {
+			return fmt.Errorf("daemon: alert sink %q: %w", p.name, err)
+		}
+		wrote++
+	}
+	p.alerts.Add(int64(wrote))
+	p.mAlerts.Add(uint64(wrote))
+	return nil
+}
+
+// flushAlerts pushes buffered alert lines to the underlying writer.
+func (p *Pipe) flushAlerts() error {
+	if p.alertw == nil {
+		return nil
+	}
+	if err := p.alertw.Flush(); err != nil {
+		return fmt.Errorf("daemon: alert sink %q: %w", p.name, err)
+	}
+	return nil
+}
+
+// pumpCtrl applies every queued control message. It runs on the scoring
+// goroutine between chunks, so model retargeting never races a chunk
+// mid-score.
+func (p *Pipe) pumpCtrl() {
+	for {
+		select {
+		case m := <-p.ctrl:
+			var err error
+			switch m.kind {
+			case ctrlSwap:
+				err = p.handle.StartShadow(m.clf)
+				if err == nil {
+					p.swapOpts = m.opts
+					p.mShadowing.Set(1)
+					p.emitSwapEvent("swap:shadow_start", nil)
+				}
+			case ctrlPromote:
+				err = p.decide(true, "operator")
+			case ctrlRollback:
+				err = p.decide(false, "operator")
+			}
+			if m.reply != nil {
+				m.reply <- err
+			}
+		default:
+			return
+		}
+	}
+}
+
+// updateSwap publishes the live shadow divergence and applies the
+// automatic promote-or-rollback decision once enough chunks were
+// shadow-scored.
+func (p *Pipe) updateSwap() {
+	if !p.handle.Shadowing() {
+		return
+	}
+	st := p.handle.Stats()
+	p.setDivergence(st)
+	o := p.swapOpts
+	if !o.AutoDecide {
+		return
+	}
+	target := o.ShadowChunks
+	if target <= 0 {
+		target = 8
+	}
+	if st.Chunks < target {
+		return
+	}
+	_ = p.decide(st.DisagreeFrac() <= o.MaxDisagree, "auto")
+}
+
+// decide finishes the in-progress swap: promote makes the candidate
+// active (generation += 1), rollback discards it. Runs on the scoring
+// goroutine only.
+func (p *Pipe) decide(promote bool, by string) error {
+	var st mlkit.SwapStats
+	var err error
+	outcome := "rolled_back"
+	if promote {
+		st, err = p.handle.Promote()
+		outcome = "promoted"
+	} else {
+		st, err = p.handle.Rollback()
+	}
+	if err != nil {
+		return err
+	}
+	gen := p.handle.Generation()
+	rep := &SwapReport{
+		Outcome:      outcome,
+		By:           by,
+		Generation:   gen,
+		Chunks:       st.Chunks,
+		Rows:         st.Rows,
+		DisagreeFrac: st.DisagreeFrac(),
+		ScoreMAD:     st.ScoreMAD(),
+	}
+	p.mu.Lock()
+	p.lastSwap = rep
+	p.mu.Unlock()
+	p.swapOpts = SwapOptions{}
+	p.setDivergence(st)
+	p.mGen.Set(float64(gen))
+	p.mShadowing.Set(0)
+	p.metrics.Counter("lumen_daemon_swaps_total", "Finished hot-swap attempts.",
+		"pipeline", p.name, "outcome", outcome).Inc()
+	p.emitSwapEvent("swap:"+outcome, map[string]any{
+		"by": by, "generation": gen,
+		"chunks": st.Chunks, "rows": st.Rows,
+		"disagree_frac": st.DisagreeFrac(), "score_mad": st.ScoreMAD(),
+	})
+	return nil
+}
+
+// setDivergence publishes a shadow tally as lumen_swap_divergence gauges.
+func (p *Pipe) setDivergence(st mlkit.SwapStats) {
+	g := func(stat string) *obs.Gauge {
+		return p.metrics.Gauge("lumen_swap_divergence",
+			"Shadow-scoring divergence between active and candidate model.",
+			"pipeline", p.name, "stat", stat)
+	}
+	g("disagree_frac").Set(st.DisagreeFrac())
+	g("score_mad").Set(st.ScoreMAD())
+	g("shadow_chunks").Set(float64(st.Chunks))
+	g("shadow_rows").Set(float64(st.Rows))
+}
+
+// emitSwapEvent records a zero-width swap marker on the pass span.
+func (p *Pipe) emitSwapEvent(name string, attrs map[string]any) {
+	if p.span != nil {
+		now := time.Now()
+		p.span.Emit(name, now, now, attrs)
+	}
+}
+
+// control queues m and waits for the scoring goroutine to apply it at
+// the next chunk boundary. On an idle source the wait extends until the
+// next chunk arrives.
+func (p *Pipe) control(m ctrlMsg) error {
+	m.reply = make(chan error, 1)
+	select {
+	case p.ctrl <- m:
+	case <-p.done:
+		return ErrStopped
+	}
+	select {
+	case err := <-m.reply:
+		return err
+	case <-p.done:
+		return ErrStopped
+	}
+}
+
+// Swap begins a hot swap: clf is attached as a shadow at the next chunk
+// boundary and scored alongside the active model. With opts.AutoDecide
+// the pipeline promotes or rolls back on its own; otherwise call Promote
+// or Rollback. Fails while another swap is in progress.
+func (p *Pipe) Swap(clf mlkit.Classifier, opts SwapOptions) error {
+	if clf == nil {
+		return errors.New("daemon: Swap: nil classifier")
+	}
+	return p.control(ctrlMsg{kind: ctrlSwap, clf: clf, opts: opts})
+}
+
+// SwapFromFile loads a persisted model (mlkit.LoadModel envelope) and
+// starts a hot swap with it.
+func (p *Pipe) SwapFromFile(path string, opts SwapOptions) error {
+	clf, err := mlkit.LoadModel(path)
+	if err != nil {
+		return err
+	}
+	return p.Swap(clf, opts)
+}
+
+// Promote finishes the in-progress swap in the candidate's favor at the
+// next chunk boundary.
+func (p *Pipe) Promote() error { return p.control(ctrlMsg{kind: ctrlPromote}) }
+
+// Rollback discards the in-progress swap's candidate at the next chunk
+// boundary.
+func (p *Pipe) Rollback() error { return p.control(ctrlMsg{kind: ctrlRollback}) }
+
+// Reload asks the pipeline to finish the current pass (draining the
+// source if it supports Drain) and start a fresh one with the source
+// Reset — the rotate-and-rescan verb for replay sources. It returns once
+// the reload is scheduled, not once the new pass starts.
+func (p *Pipe) Reload() error {
+	p.mu.Lock()
+	if p.state != StateRunning || p.stopReq {
+		p.mu.Unlock()
+		return ErrStopped
+	}
+	p.reloadPending = true
+	p.mu.Unlock()
+	p.drainSource()
+	return nil
+}
+
+// Drain gracefully stops the pipeline: the source stops producing, the
+// packets already ingested are scored to completion, deferred verdicts
+// and the conn-log are written, and sinks are flushed. Drain blocks
+// until all of that finished and returns the pipeline's terminal error.
+// It is idempotent — concurrent and repeated calls all wait for the same
+// shutdown.
+func (p *Pipe) Drain() error {
+	p.mu.Lock()
+	already := p.stopReq
+	p.stopReq = true
+	if p.state == StateRunning {
+		p.setStateLocked(StateDraining)
+	}
+	p.mu.Unlock()
+	if !already {
+		p.drainSource()
+	}
+	<-p.done
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.runErr
+}
+
+// drainSource signals a drainable source to stop producing. Finite
+// sources without Drain end on their own.
+func (p *Pipe) drainSource() {
+	if dr, ok := p.src.(Drainer); ok {
+		dr.Drain()
+	}
+}
+
+// Status snapshots the pipeline's observable state.
+func (p *Pipe) Status() PipeStatus {
+	p.mu.Lock()
+	st := PipeStatus{
+		Name:     p.name,
+		State:    p.state.String(),
+		LastSwap: p.lastSwap,
+	}
+	if p.runErr != nil {
+		st.Error = p.runErr.Error()
+	}
+	p.mu.Unlock()
+	st.Passes = p.passes.Load()
+	st.Chunks = p.chunks.Load()
+	st.Packets = p.packets.Load()
+	st.Verdicts = p.verdicts.Load()
+	st.Alerts = p.alerts.Load()
+	st.Reloads = p.reloads.Load()
+	st.ModelGeneration = p.handle.Generation()
+	st.Shadowing = p.handle.Shadowing()
+	if st.Shadowing {
+		s := p.handle.Stats()
+		st.ShadowChunks = s.Chunks
+		st.ShadowDisagree = s.DisagreeFrac()
+		st.ShadowScoreMAD = s.ScoreMAD()
+	}
+	return st
+}

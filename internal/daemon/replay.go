@@ -1,0 +1,147 @@
+package daemon
+
+import (
+	"sync"
+	"time"
+
+	"lumen/internal/dataset"
+)
+
+// ReplaySource replays a finite inner source (pcap file, in-memory
+// corpus) as daemon ingest, optionally paced to the capture's own
+// timeline. It adds the two capabilities resident pipelines need from a
+// replay: pacing (wire speed or any multiple of it) and graceful Drain.
+// Reset rewinds the inner source and re-arms the replay, so reloads
+// replay the capture from the top.
+type ReplaySource struct {
+	mu      sync.Mutex
+	inner   dataset.Source
+	speed   float64
+	stop    chan struct{}
+	stopped bool
+	emitted bool
+	started bool
+	wall0   time.Time
+	pkt0    time.Time
+}
+
+// NewReplaySource wraps inner. speed is the replay rate as a multiple of
+// capture time: 1 replays at wire speed, 2 at double speed, 0 disables
+// pacing and replays as fast as the pipeline pulls. If inner exposes the
+// full dataset (a Labeled method, like dataset.SliceSource), the
+// returned source forwards it so barrier ops avoid re-accumulation.
+func NewReplaySource(inner dataset.Source, speed float64) dataset.Source {
+	r := &ReplaySource{inner: inner, speed: speed, stop: make(chan struct{})}
+	if l, ok := inner.(interface{ Labeled() *dataset.Labeled }); ok {
+		return &replayLabeled{ReplaySource: r, l: l}
+	}
+	return r
+}
+
+// replayLabeled adds the Labeled passthrough for inner sources that
+// expose their full dataset.
+type replayLabeled struct {
+	*ReplaySource
+	l interface{ Labeled() *dataset.Labeled }
+}
+
+// Labeled exposes the inner source's materialized dataset.
+func (r *replayLabeled) Labeled() *dataset.Labeled { return r.l.Labeled() }
+
+// Meta implements dataset.Source.
+func (s *ReplaySource) Meta() dataset.SourceMeta { return s.inner.Meta() }
+
+// Next implements dataset.Source: it forwards to the inner source,
+// sleeping first so the chunk's first packet lands on the replay
+// timeline. Drain interrupts the sleep (the chunk is still delivered;
+// the stream ends on the following call).
+func (s *ReplaySource) Next(maxRows, maxBytes int) (dataset.Chunk, bool) {
+	s.mu.Lock()
+	stopCh, stopped := s.stop, s.stopped
+	s.mu.Unlock()
+	if stopped {
+		return s.endStream()
+	}
+	ck, ok := s.inner.Next(maxRows, maxBytes)
+	if !ok {
+		return s.endStream()
+	}
+	s.mu.Lock()
+	s.emitted = true
+	var wait time.Duration
+	if s.speed > 0 && len(ck.Packets) > 0 {
+		first := ck.Packets[0].Ts
+		if !s.started {
+			s.started = true
+			s.wall0 = time.Now()
+			s.pkt0 = first
+		}
+		target := time.Duration(float64(first.Sub(s.pkt0)) / s.speed)
+		wait = target - time.Since(s.wall0)
+	}
+	s.mu.Unlock()
+	if wait > 0 {
+		select {
+		case <-time.After(wait):
+		case <-stopCh:
+		}
+	}
+	return ck, true
+}
+
+// endStream honors the at-least-one-chunk contract: the first end-of-
+// stream observation on a pass that emitted nothing yields one empty
+// chunk.
+func (s *ReplaySource) endStream() (dataset.Chunk, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.emitted {
+		s.emitted = true
+		return dataset.Chunk{}, true
+	}
+	return dataset.Chunk{}, false
+}
+
+// Reset implements dataset.Source: it rewinds the inner source and
+// re-arms pacing and drain, so the next pass replays from the top.
+func (s *ReplaySource) Reset() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.inner.Reset(); err != nil {
+		return err
+	}
+	s.stop = make(chan struct{})
+	s.stopped = false
+	s.emitted = false
+	s.started = false
+	return nil
+}
+
+// Drain implements Drainer: the replay stops producing; an in-flight
+// pacing sleep is interrupted and its chunk delivered, then the stream
+// ends.
+func (s *ReplaySource) Drain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.stopped {
+		s.stopped = true
+		close(s.stop)
+	}
+}
+
+// Recycle forwards chunk recycling to the inner source when it pools
+// chunk buffers (dataset.PcapSource).
+func (s *ReplaySource) Recycle(ck dataset.Chunk) {
+	if rec, ok := s.inner.(dataset.Recycler); ok {
+		rec.Recycle(ck)
+	}
+}
+
+// Err surfaces the inner source's decode error when it reports one
+// (dataset.PcapSource).
+func (s *ReplaySource) Err() error {
+	if es, ok := s.inner.(interface{ Err() error }); ok {
+		return es.Err()
+	}
+	return nil
+}

@@ -1,0 +1,296 @@
+package daemon
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"lumen/internal/dataset"
+	"lumen/internal/netpkt"
+	"lumen/internal/pcap"
+)
+
+// tinyTrace builds an n-packet dataset with timestamps spaced by gap,
+// for pacing tests that need a controlled capture timeline.
+func tinyTrace(n int, gap time.Duration) *dataset.Labeled {
+	base := time.Unix(1700000000, 0).UTC()
+	pkts := make([]*netpkt.Packet, n)
+	for i := range pkts {
+		pkts[i] = &netpkt.Packet{Ts: base.Add(time.Duration(i) * gap)}
+	}
+	return &dataset.Labeled{
+		Name:        "tiny",
+		Granularity: dataset.Packet,
+		Link:        netpkt.LinkEthernet,
+		Packets:     pkts,
+		Labels:      make([]int, n),
+		Attacks:     make([]string, n),
+	}
+}
+
+// drainOf asserts src supports graceful drain and returns the hook.
+func drainOf(t *testing.T, src dataset.Source) Drainer {
+	t.Helper()
+	d, ok := src.(Drainer)
+	if !ok {
+		t.Fatalf("%T does not implement Drainer", src)
+	}
+	return d
+}
+
+// TestReplaySourcePassthrough: unpaced replay forwards the inner stream
+// unchanged and resets for another pass.
+func TestReplaySourcePassthrough(t *testing.T) {
+	ds := tinyTrace(10, time.Second)
+	src := NewReplaySource(dataset.NewSliceSource(ds), 0)
+	for pass := 0; pass < 2; pass++ {
+		total, base := 0, 0
+		for {
+			ck, ok := src.Next(3, 0)
+			if !ok {
+				break
+			}
+			if ck.Base != base {
+				t.Fatalf("pass %d: chunk base %d, want %d", pass, ck.Base, base)
+			}
+			base += len(ck.Packets)
+			total += len(ck.Packets)
+		}
+		if total != 10 {
+			t.Fatalf("pass %d: replayed %d packets, want 10", pass, total)
+		}
+		if err := src.Reset(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := src.Meta(); m.Name != "tiny" {
+		t.Fatalf("meta passthrough broken: %+v", m)
+	}
+}
+
+// TestReplaySourceDrainInterruptsPacing: a drain must cut a pacing sleep
+// short instead of waiting out the capture timeline.
+func TestReplaySourceDrainInterruptsPacing(t *testing.T) {
+	// 1h between packets at speed 1 — Next would sleep an hour.
+	src := NewReplaySource(dataset.NewSliceSource(tinyTrace(3, time.Hour)), 1)
+	if _, ok := src.Next(1, 0); !ok {
+		t.Fatal("first chunk missing")
+	}
+	type res struct {
+		ok      bool
+		elapsed time.Duration
+	}
+	got := make(chan res, 1)
+	go func() {
+		start := time.Now()
+		_, ok := src.Next(1, 0)
+		got <- res{ok, time.Since(start)}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	drainOf(t, src).Drain()
+	select {
+	case r := <-got:
+		if !r.ok {
+			t.Fatal("the in-flight chunk must still be delivered on drain")
+		}
+		if r.elapsed > 10*time.Second {
+			t.Fatalf("drain took %v to interrupt pacing", r.elapsed)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("drain never interrupted the pacing sleep")
+	}
+	if _, ok := src.Next(1, 0); ok {
+		t.Fatal("stream must end after drain")
+	}
+	// Reset re-arms the drained replay.
+	if err := src.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := src.Next(0, 0); !ok {
+		t.Fatal("reset after drain must replay again")
+	}
+}
+
+// TestReplaySourceEmptyContract: a drained-before-first-chunk replay
+// still emits the one empty chunk the Source contract requires.
+func TestReplaySourceEmptyContract(t *testing.T) {
+	src := NewReplaySource(dataset.NewSliceSource(tinyTrace(5, time.Second)), 0)
+	drainOf(t, src).Drain()
+	ck, ok := src.Next(0, 0)
+	if !ok || len(ck.Packets) != 0 {
+		t.Fatalf("want one empty chunk, got ok=%v len=%d", ok, len(ck.Packets))
+	}
+	if _, ok := src.Next(0, 0); ok {
+		t.Fatal("stream must end after the empty chunk")
+	}
+}
+
+// feedPair starts a FeedSource on a unix socket and connects a producer.
+func feedPair(t *testing.T) (*FeedSource, net.Conn) {
+	t.Helper()
+	sock := filepath.Join(t.TempDir(), "feed.sock")
+	ln, err := net.Listen("unix", sock)
+	if err != nil {
+		t.Skipf("unix sockets unavailable: %v", err)
+	}
+	src := NewFeedSource("test-feed", ln, netpkt.LinkEthernet, 64)
+	c, err := net.Dial("unix", sock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src, c
+}
+
+// TestFeedSource pushes framed packets over a unix socket and verifies
+// the source re-emits them as chunks with rebased indices and preserved
+// timestamps.
+func TestFeedSource(t *testing.T) {
+	ds := testDS(t)
+	n := 50
+	src, c := feedPair(t)
+	go func() {
+		for _, p := range ds.Packets[:n] {
+			data, err := p.Serialize()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := WriteFrame(c, p.Ts, data); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		c.Close()
+	}()
+	var pkts []*netpkt.Packet
+	base := 0
+	for len(pkts) < n {
+		ck, ok := src.Next(16, 0)
+		if !ok {
+			t.Fatalf("stream ended after %d of %d packets", len(pkts), n)
+		}
+		if ck.Base != base {
+			t.Fatalf("chunk base %d, want %d", ck.Base, base)
+		}
+		if len(ck.Labels) != len(ck.Packets) || len(ck.Attacks) != len(ck.Packets) {
+			t.Fatal("feed chunks must carry zeroed labels")
+		}
+		base += len(ck.Packets)
+		pkts = append(pkts, ck.Packets...)
+	}
+	for i, p := range pkts {
+		if !p.Ts.Equal(ds.Packets[i].Ts) {
+			t.Fatalf("packet %d timestamp %v, want %v", i, p.Ts, ds.Packets[i].Ts)
+		}
+	}
+	src.Drain()
+	for {
+		if _, ok := src.Next(16, 0); !ok {
+			break
+		}
+	}
+	if err := src.Err(); err != nil {
+		t.Fatalf("clean feed reported error: %v", err)
+	}
+	if err := src.Reset(); err == nil {
+		t.Fatal("live feeds must reject Reset")
+	}
+	if src.Addr() == nil {
+		t.Fatal("feed must expose its listener address")
+	}
+}
+
+// TestFeedSourceEmptyContract: draining an idle feed still yields the
+// contract's one empty chunk.
+func TestFeedSourceEmptyContract(t *testing.T) {
+	src, c := feedPair(t)
+	c.Close()
+	src.Drain()
+	ck, ok := src.Next(0, 0)
+	if !ok || len(ck.Packets) != 0 {
+		t.Fatalf("want one empty chunk, got ok=%v len=%d", ok, len(ck.Packets))
+	}
+	if _, ok := src.Next(0, 0); ok {
+		t.Fatal("stream must end after the empty chunk")
+	}
+}
+
+// TestFeedSourceBadFrame: a length prefix outside the protocol bounds is
+// recorded as a feed error and the producer is cut off.
+func TestFeedSourceBadFrame(t *testing.T) {
+	src, c := feedPair(t)
+	if _, err := c.Write([]byte{0, 0, 0, 3}); err != nil { // length 3 < 8
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "protocol error", func() bool { return src.Err() != nil })
+	src.Drain()
+}
+
+// writePcap writes pkts as a pcap file.
+func writePcap(t *testing.T, path string, link netpkt.LinkType, pkts []*netpkt.Packet) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w, err := pcap.NewWriter(f, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDirSource streams rotated captures from a watched directory:
+// pre-existing files in name order, a file added mid-watch, packet
+// indices rebased across files, and drain ending the stream.
+func TestDirSource(t *testing.T) {
+	ds := testDS(t)
+	dir := t.TempDir()
+	writePcap(t, filepath.Join(dir, "trace-000.pcap"), ds.Link, ds.Packets[:30])
+	writePcap(t, filepath.Join(dir, "trace-001.pcap"), ds.Link, ds.Packets[30:60])
+	src := NewDirSource("watch", dir, "*.pcap", dataset.Packet, ds.Link, 5*time.Millisecond)
+	if m := src.Meta(); m.Name != "watch" || m.Link != ds.Link {
+		t.Fatalf("meta = %+v", m)
+	}
+	count, base := 0, 0
+	pull := func(want int) {
+		t.Helper()
+		for count < want {
+			ck, ok := src.Next(16, 0)
+			if !ok {
+				t.Fatalf("stream ended at %d of %d packets (err %v)", count, want, src.Err())
+			}
+			if ck.Base != base {
+				t.Fatalf("chunk base %d, want %d (rebasing across files broken)", ck.Base, base)
+			}
+			base += len(ck.Packets)
+			count += len(ck.Packets)
+		}
+	}
+	pull(60)
+	// A capture rotated in after the watch started is picked up too.
+	writePcap(t, filepath.Join(dir, "trace-002.pcap"), ds.Link, ds.Packets[60:80])
+	pull(80)
+	src.Drain()
+	for {
+		if _, ok := src.Next(16, 0); !ok {
+			break
+		}
+	}
+	if err := src.Err(); err != nil {
+		t.Fatalf("clean watch reported error: %v", err)
+	}
+	if err := src.Reset(); err == nil {
+		t.Fatal("directory watches must reject Reset")
+	}
+}

@@ -1,0 +1,193 @@
+package daemon
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"lumen/internal/dataset"
+	"lumen/internal/netpkt"
+)
+
+// DirSource ingests rotated capture files from a watched directory: it
+// polls for files matching a glob pattern, waits for each file's size to
+// hold still across one poll interval (the rotation-complete heuristic),
+// then streams it as pcap chunks with packet indices rebased to one
+// continuous stream across files. Files are processed once each, in
+// lexical name order per scan — name rotated captures sortably
+// (trace-000017.pcap). DirSource is not resettable; a watch has no
+// beginning to rewind to.
+type DirSource struct {
+	name string
+	dir  string
+	glob string
+	gran dataset.Granularity
+	link netpkt.LinkType
+	poll time.Duration
+
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	// Single-consumer state: Next runs on one goroutine.
+	seen    map[string]bool
+	sizes   map[string]int64
+	cur     *dataset.PcapSource
+	curf    *os.File
+	base    int
+	emitted bool
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewDirSource watches dir for files matching glob (e.g. "*.pcap"),
+// polling every poll interval (0 means 500ms). gran and link describe
+// the captures; link is advisory (each file's own pcap header governs
+// decoding).
+func NewDirSource(name, dir, glob string, gran dataset.Granularity, link netpkt.LinkType, poll time.Duration) *DirSource {
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	return &DirSource{
+		name:  name,
+		dir:   dir,
+		glob:  glob,
+		gran:  gran,
+		link:  link,
+		poll:  poll,
+		stop:  make(chan struct{}),
+		seen:  map[string]bool{},
+		sizes: map[string]int64{},
+	}
+}
+
+// Meta implements dataset.Source.
+func (s *DirSource) Meta() dataset.SourceMeta {
+	return dataset.SourceMeta{Name: s.name, Granularity: s.gran, Link: s.link}
+}
+
+// Next implements dataset.Source: it drains the current file, then polls
+// for the next size-stable one. The stream ends on Drain or on the first
+// unreadable file (surfaced via Err).
+func (s *DirSource) Next(maxRows, maxBytes int) (dataset.Chunk, bool) {
+	for {
+		select {
+		case <-s.stop:
+			if s.curf != nil {
+				s.curf.Close()
+				s.cur, s.curf = nil, nil
+			}
+			return s.endStream()
+		default:
+		}
+		if s.cur != nil {
+			ck, ok := s.cur.Next(maxRows, maxBytes)
+			if ok {
+				n := len(ck.Packets)
+				ck.Base = s.base
+				s.base += n
+				s.emitted = true
+				return ck, true
+			}
+			err := s.cur.Err()
+			s.curf.Close()
+			s.cur, s.curf = nil, nil
+			if err != nil {
+				s.setErr(err)
+				return s.endStream()
+			}
+		}
+		if path := s.scan(); path != "" {
+			if err := s.open(path); err != nil {
+				s.setErr(err)
+				return s.endStream()
+			}
+			continue
+		}
+		select {
+		case <-time.After(s.poll):
+		case <-s.stop:
+			return s.endStream()
+		}
+	}
+}
+
+// scan returns the next unprocessed file whose size held still since the
+// previous scan, recording sizes for files still growing.
+func (s *DirSource) scan() string {
+	matches, err := filepath.Glob(filepath.Join(s.dir, s.glob))
+	if err != nil {
+		s.setErr(fmt.Errorf("daemon: watch %q: %w", s.name, err))
+		return ""
+	}
+	sort.Strings(matches)
+	for _, path := range matches {
+		if s.seen[path] {
+			continue
+		}
+		fi, err := os.Stat(path)
+		if err != nil || fi.IsDir() {
+			continue
+		}
+		if prev, ok := s.sizes[path]; ok && prev == fi.Size() {
+			s.seen[path] = true
+			delete(s.sizes, path)
+			return path
+		}
+		s.sizes[path] = fi.Size()
+	}
+	return ""
+}
+
+// open starts streaming one capture file.
+func (s *DirSource) open(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("daemon: watch %q: %w", s.name, err)
+	}
+	src, err := dataset.NewPcapSource(filepath.Base(path), f, s.gran)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("daemon: watch %q: %s: %w", s.name, filepath.Base(path), err)
+	}
+	s.cur, s.curf = src, f
+	return nil
+}
+
+// endStream honors the at-least-one-chunk contract on first end.
+func (s *DirSource) endStream() (dataset.Chunk, bool) {
+	if !s.emitted {
+		s.emitted = true
+		return dataset.Chunk{Base: s.base}, true
+	}
+	return dataset.Chunk{}, false
+}
+
+// Reset implements dataset.Source; watches cannot rewind.
+func (s *DirSource) Reset() error {
+	return fmt.Errorf("daemon: watch %q: directory watches cannot be reset", s.name)
+}
+
+// Drain implements Drainer: the watch stops polling; the file currently
+// streaming is cut off at the next chunk boundary.
+func (s *DirSource) Drain() {
+	s.stopOnce.Do(func() { close(s.stop) })
+}
+
+// Err returns the first file or decode error the watch hit.
+func (s *DirSource) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func (s *DirSource) setErr(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		s.err = err
+	}
+}

@@ -1,0 +1,186 @@
+package mlkit
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// constClf predicts a fixed class with a fixed class-1 score.
+type constClf struct {
+	class int
+	score float64
+}
+
+func (c constClf) Fit(X [][]float64, y []int) error { return nil }
+
+func (c constClf) Predict(X [][]float64) []int {
+	out := make([]int, len(X))
+	for i := range out {
+		out[i] = c.class
+	}
+	return out
+}
+
+func (c constClf) Proba(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i := range out {
+		out[i] = c.score
+	}
+	return out
+}
+
+// scorelessClf predicts a fixed class and exposes no scores.
+type scorelessClf struct{ class int }
+
+func (c scorelessClf) Fit(X [][]float64, y []int) error { return nil }
+
+func (c scorelessClf) Predict(X [][]float64) []int {
+	out := make([]int, len(X))
+	for i := range out {
+		out[i] = c.class
+	}
+	return out
+}
+
+func rows(n int) [][]float64 {
+	X := make([][]float64, n)
+	for i := range X {
+		X[i] = []float64{float64(i)}
+	}
+	return X
+}
+
+func TestSwapHandleLifecycle(t *testing.T) {
+	h := NewSwapHandle(constClf{class: 0, score: 0.2})
+	if g := h.Generation(); g != 1 {
+		t.Fatalf("initial generation = %d, want 1", g)
+	}
+	if h.Shadowing() {
+		t.Fatal("fresh handle should not be shadowing")
+	}
+	if _, err := h.Promote(); err == nil {
+		t.Fatal("Promote without shadow should fail")
+	}
+	if _, err := h.Rollback(); err == nil {
+		t.Fatal("Rollback without shadow should fail")
+	}
+
+	// Verdicts come from the active model before, during, and after the
+	// shadow phase (until promotion).
+	X := rows(10)
+	if p := h.Predict(X); p[0] != 0 {
+		t.Fatalf("active verdict = %d, want 0", p[0])
+	}
+	if err := h.StartShadow(constClf{class: 1, score: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.StartShadow(constClf{class: 1, score: 0.9}); err == nil {
+		t.Fatal("double StartShadow should fail")
+	}
+	if p := h.Predict(X); p[0] != 0 {
+		t.Fatalf("shadow phase verdict = %d, want active model's 0", p[0])
+	}
+	st := h.Stats()
+	if st.Chunks != 1 || st.Rows != 10 || st.Disagree != 10 {
+		t.Fatalf("stats = %+v, want 1 chunk, 10 rows, 10 disagreements", st)
+	}
+	if mad := st.ScoreMAD(); math.Abs(mad-0.7) > 1e-12 {
+		t.Fatalf("ScoreMAD = %v, want 0.7", mad)
+	}
+	if f := st.DisagreeFrac(); f != 1.0 {
+		t.Fatalf("DisagreeFrac = %v, want 1.0", f)
+	}
+
+	final, err := h.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Rows != 10 {
+		t.Fatalf("Promote returned %+v, want the shadow tally", final)
+	}
+	if g := h.Generation(); g != 2 {
+		t.Fatalf("generation after promote = %d, want 2", g)
+	}
+	if h.Shadowing() {
+		t.Fatal("promote should detach the shadow")
+	}
+	if st := h.Stats(); st.Rows != 0 {
+		t.Fatalf("stats after promote = %+v, want reset", st)
+	}
+	if p := h.Predict(X); p[0] != 1 {
+		t.Fatalf("verdict after promote = %d, want candidate's 1", p[0])
+	}
+}
+
+func TestSwapHandleRollback(t *testing.T) {
+	h := NewSwapHandle(constClf{class: 0, score: 0.2})
+	if err := h.StartShadow(constClf{class: 0, score: 0.25}); err != nil {
+		t.Fatal(err)
+	}
+	h.Predict(rows(4))
+	st, err := h.Rollback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rows != 4 || st.Disagree != 0 {
+		t.Fatalf("rollback tally = %+v, want 4 agreeing rows", st)
+	}
+	if g := h.Generation(); g != 1 {
+		t.Fatalf("generation after rollback = %d, want 1", g)
+	}
+	if p := h.Predict(rows(1)); p[0] != 0 {
+		t.Fatalf("verdict after rollback = %d, want original model's 0", p[0])
+	}
+}
+
+func TestSwapHandleScoreless(t *testing.T) {
+	h := NewSwapHandle(scorelessClf{class: 0})
+	if s := h.Proba(rows(3)); s != nil {
+		t.Fatalf("Proba of a scoreless model = %v, want nil", s)
+	}
+	if err := h.StartShadow(constClf{class: 1, score: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	h.Predict(rows(5))
+	st := h.Stats()
+	if st.Disagree != 5 {
+		t.Fatalf("disagreements = %d, want 5", st.Disagree)
+	}
+	if st.ScoreRows != 0 || st.ScoreMAD() != 0 {
+		t.Fatalf("score divergence without comparable scores = %+v, want none", st)
+	}
+}
+
+// TestSwapHandleConcurrentControl races control-plane calls against the
+// scoring path; run under -race this pins the handle's thread safety.
+func TestSwapHandleConcurrentControl(t *testing.T) {
+	h := NewSwapHandle(constClf{class: 0, score: 0.2})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			h.Predict(rows(8))
+			h.Proba(rows(8))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if err := h.StartShadow(constClf{class: 1, score: 0.8}); err != nil {
+				continue
+			}
+			h.Stats()
+			if i%2 == 0 {
+				h.Promote()
+			} else {
+				h.Rollback()
+			}
+		}
+	}()
+	wg.Wait()
+	if h.Generation() < 1 {
+		t.Fatal("generation went backwards")
+	}
+}
