@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-paper race vet docs-lint check daemon-smoke
+.PHONY: build test bench bench-paper race vet docs-lint fuzz-smoke check daemon-smoke
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,9 @@ test:
 # (BenchmarkShardSink*: the same sink-bound pass at 1/2/4/8 flow-hash
 # lanes) into BENCH_PR6.json. Shard throughput scales with cores; on a
 # single-core host the expected ratio is ~1x (see DESIGN.md).
+# The decode fast-path set (BenchmarkDecode*: eager full-stack vs lazy
+# views per depth; BenchmarkSourceStage*: the chunked source stage
+# across {eager,lazy}×{buffered,mmap}) lands in BENCH_PR8.json.
 BENCH_LABEL ?= current
 bench:
 	$(GO) test -bench=. -benchtime=300ms -count=3 -run='^$$' ./internal/mlkit/... \
@@ -35,6 +38,8 @@ bench:
 		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out BENCH_PR5.json
 	$(GO) test -bench=BenchmarkShard -benchtime=5x -count=3 -run='^$$' ./internal/core/ \
 		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out BENCH_PR6.json
+	$(GO) test -bench='BenchmarkDecode|BenchmarkSourceStage' -benchtime=300ms -count=3 -run='^$$' ./internal/dataset/ \
+		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out BENCH_PR8.json
 
 # bench-paper runs the paper table/figure reproduction benchmarks once each.
 bench-paper:
@@ -53,7 +58,7 @@ vet:
 # the HTTP control surface, and the lumend binary end to end) under the
 # race detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/dataset/... ./internal/pcap/... ./internal/flow/... ./internal/benchsuite/... ./internal/obs/... ./internal/mlkit/... ./internal/daemon/... ./cmd/lumend/...
+	$(GO) test -race ./internal/core/... ./internal/dataset/... ./internal/pcap/... ./internal/netpkt/... ./internal/features/... ./internal/flow/... ./internal/benchsuite/... ./internal/obs/... ./internal/mlkit/... ./internal/daemon/... ./cmd/lumend/...
 
 # docs-lint enforces the documentation floor (see doclint_test.go):
 # package comments everywhere under internal/ and cmd/, doc comments on
@@ -79,7 +84,17 @@ daemon-smoke:
 	echo "daemon-smoke: OK ($$(wc -l < $$tmp/alerts.jsonl) alerts, conn-log $$(wc -l < $$tmp/conn.log) lines)"; \
 	rm -rf $$tmp
 
+# fuzz-smoke gives each differential decoder fuzz target (lazy
+# PacketView vs eager Decode; see internal/netpkt/view_fuzz_test.go) a
+# short budget on top of its checked-in corpus. Go runs one -fuzz
+# pattern per invocation, so each target gets its own line.
+FUZZTIME ?= 5s
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzViewEthernet -fuzztime=$(FUZZTIME) -run='^$$' ./internal/netpkt/
+	$(GO) test -fuzz=FuzzViewDot11 -fuzztime=$(FUZZTIME) -run='^$$' ./internal/netpkt/
+
 # check is the CI gate: static analysis, race-clean concurrency paths,
-# and the documentation lint.
-check: vet race docs-lint
+# the documentation lint, and a short differential-fuzz pass over the
+# decoder fast path.
+check: vet race docs-lint fuzz-smoke
 	$(GO) build ./...

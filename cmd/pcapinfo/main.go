@@ -2,11 +2,13 @@
 // span, protocol mix and top talkers. With -connlog it instead emits a
 // Zeek-style conn.log of the capture's bidirectional flows.
 //
-// Both passes run on the pipelined source stage (dataset.StartPump): a
-// decode goroutine reads chunks ahead through a bounded channel and
-// recycles their packet buffers once the aggregation loop releases them,
-// so decode overlaps with counting and memory stays a few chunks deep
-// however large the file is.
+// Both passes run on the zero-copy decode fast path: the capture is
+// memory-mapped when it is a regular file, chunks arrive as lazy
+// netpkt.PacketView records whose layers decode on first touch, and the
+// pipelined source stage (dataset.StartPump) reads ahead through a
+// bounded channel and recycles chunk buffers once the aggregation loop
+// releases them. Decode overlaps with counting and memory stays a few
+// chunks deep however large the file is.
 //
 // Usage:
 //
@@ -18,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
@@ -49,9 +52,11 @@ func main() {
 	}
 }
 
-// pump opens path and starts the pipelined source stage over it. The
-// caller must range over pump.C, call Done per chunk, then check Err.
-func pump(path string) (*dataset.Pump, *dataset.PcapSource, func(), error) {
+// pump opens path and starts the pipelined source stage over it, with
+// the source emitting lazy view chunks predecoded to hint's depth. The
+// caller must range over pump.C, call Done per chunk, then check Err;
+// the returned closer releases the mapping and the file.
+func pump(path string, hint netpkt.DecodeHint) (*dataset.Pump, *dataset.PcapSource, func(), error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, nil, err
@@ -61,12 +66,13 @@ func pump(path string) (*dataset.Pump, *dataset.PcapSource, func(), error) {
 		f.Close()
 		return nil, nil, nil, err
 	}
+	src.ConfigureViews(true, hint)
 	p := dataset.StartPump(src, dataset.PumpConfig{
 		MaxRows: chunkRows,
 		Depth:   2,
 		Recycle: true,
 	})
-	return p, src, func() { f.Close() }, nil
+	return p, src, func() { src.Close(); f.Close() }, nil
 }
 
 // runConnlog streams the capture through an incremental connection
@@ -75,7 +81,7 @@ func pump(path string) (*dataset.Pump, *dataset.PcapSource, func(), error) {
 // and counters, so chunk buffers are recycled as soon as each chunk has
 // been fed to the assembler.
 func runConnlog(path string) error {
-	p, _, closef, err := pump(path)
+	p, _, closef, err := pump(path, netpkt.DecodeHint{Headers: true})
 	if err != nil {
 		return err
 	}
@@ -83,8 +89,8 @@ func runConnlog(path string) error {
 	asm := flow.NewConnAssembler(flow.Options{})
 	var conns []*flow.Connection
 	for nc := range p.C {
-		for j, pk := range nc.Packets {
-			conns = append(conns, asm.Add(nc.Base+j, pk)...)
+		for j := range nc.Views {
+			conns = append(conns, asm.AddSummary(nc.Base+j, nc.Views[j].Summary())...)
 		}
 		p.Done(nc)
 	}
@@ -100,28 +106,33 @@ func runConnlog(path string) error {
 // counters — memory stays constant however large the file is, and the
 // summary reports how much the pump actually buffered.
 func run(path string) error {
-	p, src, closef, err := pump(path)
+	// The summary touches headers everywhere and DNS on port-53 packets;
+	// deeper app parsing never runs.
+	p, src, closef, err := pump(path, netpkt.DecodeHint{Headers: true, Apps: netpkt.AppDNS})
 	if err != nil {
 		return err
 	}
 	defer closef()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	var first, last time.Time
 	var packets, bytes int
 	protos := map[string]int{}
 	talkers := map[string]int{}
 	for nc := range p.C {
-		for _, pk := range nc.Packets {
+		for i := range nc.Views {
+			vw := &nc.Views[i]
 			if packets == 0 {
-				first = pk.Ts
+				first = vw.Ts
 			}
-			last = pk.Ts
+			last = vw.Ts
 			packets++
-			bytes += pk.WireLen()
-			protos[protoName(pk)]++
-			if ip := pk.SrcIP(); ip.IsValid() {
+			bytes += vw.WireLen()
+			protos[protoNameView(vw)]++
+			if ip := vw.SrcIP(); ip.IsValid() {
 				talkers[ip.String()]++
-			} else if pk.Dot11 != nil {
-				talkers[pk.Dot11.Addr2.String()]++
+			} else if d, ok := vw.Dot11(); ok {
+				talkers[d.Addr2.String()]++
 			}
 		}
 		p.Done(nc)
@@ -129,9 +140,15 @@ func run(path string) error {
 	if err := p.Err(); err != nil {
 		return err
 	}
+	runtime.ReadMemStats(&ms1)
 	st := p.Stats()
 	fmt.Printf("file:      %s\n", path)
 	fmt.Printf("link type: %d\n", src.Meta().Link)
+	fmt.Printf("decode:    %s", src.DecodeMode())
+	if packets > 0 {
+		fmt.Printf(" (%.1f allocs/pkt)", float64(ms1.Mallocs-ms0.Mallocs)/float64(packets))
+	}
+	fmt.Println()
 	fmt.Printf("packets:   %d\n", packets)
 	if packets == 0 {
 		return nil
@@ -158,6 +175,34 @@ func run(path string) error {
 		fmt.Printf("  %-22s %d\n", kv.k, kv.v)
 	}
 	return nil
+}
+
+// protoNameView classifies a lazy view exactly as protoName classifies
+// the eagerly decoded packet (the DNS check forces the app parse only on
+// port-53 packets, which the pump's hint already predecodes).
+func protoNameView(v *netpkt.PacketView) string {
+	if d, ok := v.Dot11(); ok {
+		if d.Subtype.IsManagement() {
+			return "802.11m"
+		}
+		return "802.11d"
+	}
+	if _, ok := v.DNS(); ok {
+		return "dns"
+	}
+	if _, ok := v.TCP(); ok {
+		return "tcp"
+	}
+	if _, ok := v.UDP(); ok {
+		return "udp"
+	}
+	if _, ok := v.ICMP(); ok {
+		return "icmp"
+	}
+	if _, ok := v.ARP(); ok {
+		return "arp"
+	}
+	return "other"
 }
 
 func protoName(p *netpkt.Packet) string {

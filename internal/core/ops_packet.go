@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"lumen/internal/dataset"
 	"lumen/internal/features"
@@ -47,6 +48,10 @@ type feCarry struct {
 	seen   bool
 }
 
+// pktTime converts a capture timestamp to the float seconds every packet
+// op works in.
+func pktTime(ts time.Time) float64 { return float64(ts.UnixNano()) / 1e9 }
+
 func opFieldExtract(ctx *opCtx, in []Value, p params) (Value, error) {
 	pk, err := asPackets(in[0])
 	if err != nil {
@@ -66,8 +71,8 @@ func opFieldExtract(ctx *opCtx, in []Value, p params) (Value, error) {
 		}
 	}
 	ds := pk.DS
-	n := len(ds.Packets)
-	fr := newPacketFrame(ds, ctx.streamBase())
+	n := pk.Len()
+	fr := newPacketFrame(n, ds, ctx.streamBase())
 
 	numeric := map[string][]float64{}
 	strs := map[string][]string{}
@@ -83,9 +88,29 @@ func opFieldExtract(ctx *opCtx, in []Value, p params) (Value, error) {
 	if v, ok := ctx.carry(); ok {
 		car, _ = v.(feCarry)
 	}
+	if pk.Views != nil {
+		car = fieldExtractViews(pk.Views, numeric, strs, car)
+	} else {
+		car = fieldExtractPackets(ds.Packets, numeric, strs, car)
+	}
+	ctx.setCarry(car)
+	// Preserve the requested order.
+	for _, f := range fields {
+		if col, ok := numeric[f]; ok {
+			fr.AddF(f, col)
+		} else {
+			fr.AddS(f, strs[f])
+		}
+	}
+	return fr, nil
+}
+
+// fieldExtractPackets fills the requested columns from eagerly decoded
+// packets — the classic row-major loop.
+func fieldExtractPackets(pkts []*netpkt.Packet, numeric map[string][]float64, strs map[string][]string, car feCarry) feCarry {
 	prevTs, seen := car.prevTs, car.seen
-	for i, pkt := range ds.Packets {
-		t := float64(pkt.Ts.UnixNano()) / 1e9
+	for i, pkt := range pkts {
+		t := pktTime(pkt.Ts)
 		for f := range numeric {
 			var v float64
 			switch f {
@@ -232,16 +257,248 @@ func opFieldExtract(ctx *opCtx, in []Value, p params) (Value, error) {
 		}
 		prevTs, seen = t, true
 	}
-	ctx.setCarry(feCarry{prevTs: prevTs, seen: seen})
-	// Preserve the requested order.
-	for _, f := range fields {
-		if col, ok := numeric[f]; ok {
-			fr.AddF(f, col)
-		} else {
-			fr.AddS(f, strs[f])
+	return feCarry{prevTs: prevTs, seen: seen}
+}
+
+// fieldExtractViews fills the requested columns from lazy views, one
+// column pass per field with the field switch hoisted out of the inner
+// loop. Only the layers a field actually needs are decoded: metadata
+// fields (ts/iat/len) trigger nothing, header fields run the one-pass
+// L2-L4 decode on first touch, app fields force the app parse only on
+// port-gated packets. Output is bit-identical to the eager loop, and the
+// carry advances on every packet exactly as the eager loop's does.
+func fieldExtractViews(views []netpkt.PacketView, numeric map[string][]float64, strs map[string][]string, car feCarry) feCarry {
+	n := len(views)
+	for f, col := range numeric {
+		switch f {
+		case "ts":
+			for i := range views {
+				col[i] = pktTime(views[i].Ts)
+			}
+		case "iat":
+			prev, seen := car.prevTs, car.seen
+			for i := range views {
+				t := pktTime(views[i].Ts)
+				if seen {
+					col[i] = t - prev
+				}
+				prev, seen = t, true
+			}
+		case "len":
+			for i := range views {
+				col[i] = float64(views[i].WireLen())
+			}
+		case "payload_len":
+			for i := range views {
+				col[i] = float64(views[i].PayloadLen())
+			}
+		case "ttl":
+			for i := range views {
+				if ip, ok := views[i].IPv4(); ok {
+					col[i] = float64(ip.TTL)
+				}
+			}
+		case "ip_id":
+			for i := range views {
+				if ip, ok := views[i].IPv4(); ok {
+					col[i] = float64(ip.ID)
+				}
+			}
+		case "ip_tos":
+			for i := range views {
+				if ip, ok := views[i].IPv4(); ok {
+					col[i] = float64(ip.TOS)
+				}
+			}
+		case "proto":
+			for i := range views {
+				col[i] = float64(views[i].Protocol())
+			}
+		case "src_port":
+			for i := range views {
+				col[i] = float64(views[i].SrcPort())
+			}
+		case "dst_port":
+			for i := range views {
+				col[i] = float64(views[i].DstPort())
+			}
+		case "tcp_flags":
+			for i := range views {
+				if t, ok := views[i].TCP(); ok {
+					col[i] = float64(t.Flags)
+				}
+			}
+		case "tcp_syn":
+			fillFlagCol(views, col, netpkt.FlagSYN)
+		case "tcp_ack":
+			fillFlagCol(views, col, netpkt.FlagACK)
+		case "tcp_fin":
+			fillFlagCol(views, col, netpkt.FlagFIN)
+		case "tcp_rst":
+			fillFlagCol(views, col, netpkt.FlagRST)
+		case "tcp_psh":
+			fillFlagCol(views, col, netpkt.FlagPSH)
+		case "tcp_urg":
+			fillFlagCol(views, col, netpkt.FlagURG)
+		case "tcp_window":
+			for i := range views {
+				if t, ok := views[i].TCP(); ok {
+					col[i] = float64(t.Window)
+				}
+			}
+		case "udp_len":
+			for i := range views {
+				if u, ok := views[i].UDP(); ok {
+					col[i] = float64(u.Length)
+				}
+			}
+		case "icmp_type":
+			for i := range views {
+				if ic, ok := views[i].ICMP(); ok {
+					col[i] = float64(ic.Type)
+				}
+			}
+		case "icmp_code":
+			for i := range views {
+				if ic, ok := views[i].ICMP(); ok {
+					col[i] = float64(ic.Code)
+				}
+			}
+		case "is_arp":
+			for i := range views {
+				_, ok := views[i].ARP()
+				col[i] = b2f(ok)
+			}
+		case "is_tcp":
+			for i := range views {
+				_, ok := views[i].TCP()
+				col[i] = b2f(ok)
+			}
+		case "is_udp":
+			for i := range views {
+				_, ok := views[i].UDP()
+				col[i] = b2f(ok)
+			}
+		case "is_icmp":
+			for i := range views {
+				_, ok := views[i].ICMP()
+				col[i] = b2f(ok)
+			}
+		case "dns_qr":
+			for i := range views {
+				if d, ok := views[i].DNS(); ok && d.QR {
+					col[i] = 1
+				}
+			}
+		case "dns_qd":
+			for i := range views {
+				if d, ok := views[i].DNS(); ok {
+					col[i] = float64(d.QDCount)
+				}
+			}
+		case "is_http":
+			for i := range views {
+				_, ok := views[i].HTTP()
+				col[i] = b2f(ok)
+			}
+		case "http_is_req":
+			for i := range views {
+				if h, ok := views[i].HTTP(); ok && h.IsRequest {
+					col[i] = 1
+				}
+			}
+		case "http_status":
+			for i := range views {
+				if h, ok := views[i].HTTP(); ok {
+					col[i] = float64(h.Status)
+				}
+			}
+		case "http_path_len":
+			for i := range views {
+				if h, ok := views[i].HTTP(); ok {
+					col[i] = float64(len(h.Path))
+				}
+			}
+		case "http_body_len":
+			for i := range views {
+				if h, ok := views[i].HTTP(); ok && h.ContentLength > 0 {
+					col[i] = float64(h.ContentLength)
+				}
+			}
+		case "is_mqtt":
+			for i := range views {
+				_, ok := views[i].MQTT()
+				col[i] = b2f(ok)
+			}
+		case "mqtt_type":
+			for i := range views {
+				if m, ok := views[i].MQTT(); ok {
+					col[i] = float64(m.Type)
+				}
+			}
+		case "mqtt_qos":
+			for i := range views {
+				if m, ok := views[i].MQTT(); ok {
+					col[i] = float64(m.QoS)
+				}
+			}
+		case "mqtt_topic_len":
+			for i := range views {
+				if m, ok := views[i].MQTT(); ok {
+					col[i] = float64(len(m.Topic))
+				}
+			}
 		}
 	}
-	return fr, nil
+	for f, col := range strs {
+		switch f {
+		case "src_ip":
+			for i := range views {
+				if a := views[i].SrcIP(); a.IsValid() {
+					col[i] = a.String()
+				} else if d, ok := views[i].Dot11(); ok {
+					col[i] = d.Addr2.String() // MAC stands in on 802.11
+				}
+			}
+		case "dst_ip":
+			for i := range views {
+				if a := views[i].DstIP(); a.IsValid() {
+					col[i] = a.String()
+				} else if d, ok := views[i].Dot11(); ok {
+					col[i] = d.Addr1.String()
+				}
+			}
+		case "src_mac":
+			for i := range views {
+				if e, ok := views[i].Eth(); ok {
+					col[i] = e.Src.String()
+				} else if d, ok := views[i].Dot11(); ok {
+					col[i] = d.Addr2.String()
+				}
+			}
+		case "dst_mac":
+			for i := range views {
+				if e, ok := views[i].Eth(); ok {
+					col[i] = e.Dst.String()
+				} else if d, ok := views[i].Dot11(); ok {
+					col[i] = d.Addr1.String()
+				}
+			}
+		}
+	}
+	if n > 0 {
+		car.prevTs, car.seen = pktTime(views[n-1].Ts), true
+	}
+	return car
+}
+
+// fillFlagCol writes one TCP-flag indicator column from views.
+func fillFlagCol(views []netpkt.PacketView, col []float64, f uint8) {
+	for i := range views {
+		if t, ok := views[i].TCP(); ok && t.HasFlag(f) {
+			col[i] = 1
+		}
+	}
 }
 
 func flagVal(p *netpkt.Packet, f uint8) float64 {
@@ -258,11 +515,11 @@ func b2f(b bool) float64 {
 	return 0
 }
 
-// newPacketFrame builds an empty frame with packet-unit metadata and
-// labels copied from the dataset. base offsets UnitIdx so chunked runs
-// attribute rows to global packet indices (0 on batch runs).
-func newPacketFrame(ds *dataset.Labeled, base int) *Frame {
-	n := len(ds.Packets)
+// newPacketFrame builds an empty frame of n packet rows with unit
+// metadata and labels copied from the dataset. base offsets UnitIdx so
+// chunked runs attribute rows to global packet indices (0 on batch runs).
+// n is passed explicitly because view-mode chunks leave ds.Packets empty.
+func newPacketFrame(n int, ds *dataset.Labeled, base int) *Frame {
 	fr := NewFrame(n)
 	fr.Unit = UnitPacket
 	fr.UnitIdx = make([]int, n)
@@ -294,16 +551,29 @@ func opNPrint(ctx *opCtx, in []Value, p params) (Value, error) {
 		return nil, fmt.Errorf("nprint: unknown variant %q", variant)
 	}
 	ds := pk.DS
-	fr := newPacketFrame(ds, ctx.streamBase())
+	n := pk.Len()
+	fr := newPacketFrame(n, ds, ctx.streamBase())
 	w := cfg.Width()
 	cols := make([][]float64, w)
 	for j := range cols {
-		cols[j] = make([]float64, fr.N)
+		cols[j] = make([]float64, n)
 	}
-	for i, pkt := range ds.Packets {
-		v := cfg.Vector(pkt)
-		for j, b := range v {
-			cols[j][i] = b
+	// One scratch row reused across packets: FillRow renders into it, the
+	// scatter loop transposes into the column slices.
+	row := make([]float64, w)
+	if pk.Views != nil {
+		for i := range pk.Views {
+			cfg.FillRow(row, features.ShapeOfView(&pk.Views[i]))
+			for j, b := range row {
+				cols[j][i] = b
+			}
+		}
+	} else {
+		for i, pkt := range ds.Packets {
+			cfg.FillRow(row, features.ShapeOf(pkt))
+			for j, b := range row {
+				cols[j][i] = b
+			}
 		}
 	}
 	for j := range cols {
@@ -328,6 +598,62 @@ type kitsuneCarry struct {
 	lastSeen  []map[string]float64
 }
 
+// fold ingests one packet — reduced to its timestamp, wire size, payload
+// length and grouping keys — and writes row i of every column. Shared by
+// the eager and view loops so both paths are structurally identical.
+func (car *kitsuneCarry) fold(lambdas []float64, cols [][]float64, i int, t, size, payLen float64, srcKey, chanKey, sockKey string) {
+	perLambda, lastSeen := car.perLambda, car.lastSeen
+	for li, lam := range lambdas {
+		st := perLambda[li][srcKey]
+		if st == nil {
+			st = &kitsuneStreams{
+				src:    features.NewIncStat(lam),
+				chanl:  features.NewIncStat(lam),
+				sock:   features.NewIncStat(lam),
+				jitter: features.NewIncStat(lam),
+				two:    features.NewIncStat2D(lam),
+			}
+			perLambda[li][srcKey] = st
+		}
+		// Jitter: inter-arrival within the channel.
+		if last, ok := lastSeen[li][chanKey]; ok {
+			st.jitter.Insert(t-last, t)
+		}
+		lastSeen[li][chanKey] = t
+		st.src.Insert(size, t)
+		// Channel/socket stats live in dedicated stream objects keyed
+		// by their own keys; reuse the map with prefixed keys.
+		cst := perLambda[li]["c|"+chanKey]
+		if cst == nil {
+			cst = &kitsuneStreams{src: features.NewIncStat(lam), two: features.NewIncStat2D(lam)}
+			perLambda[li]["c|"+chanKey] = cst
+		}
+		cst.src.Insert(size, t)
+		cst.two.Insert(size, payLen, t)
+		sst := perLambda[li]["s|"+sockKey]
+		if sst == nil {
+			sst = &kitsuneStreams{src: features.NewIncStat(lam)}
+			perLambda[li]["s|"+sockKey] = sst
+		}
+		sst.src.Insert(size, t)
+
+		base := li * 13
+		cols[base+0][i] = st.src.Weight()
+		cols[base+1][i] = st.src.Mean()
+		cols[base+2][i] = st.src.Std()
+		cols[base+3][i] = cst.src.Weight()
+		cols[base+4][i] = cst.src.Mean()
+		cols[base+5][i] = cst.src.Std()
+		cols[base+6][i] = sst.src.Weight()
+		cols[base+7][i] = sst.src.Mean()
+		cols[base+8][i] = sst.src.Std()
+		cols[base+9][i] = st.jitter.Mean()
+		cols[base+10][i] = st.jitter.Std()
+		cols[base+11][i] = cst.two.Magnitude()
+		cols[base+12][i] = cst.two.Cov()
+	}
+}
+
 // kitsune groupings: per-source stream, per-channel (src->dst) stream and
 // per-socket (five-tuple) stream, each at several decay rates.
 func opKitsuneFeatures(ctx *opCtx, in []Value, p params) (Value, error) {
@@ -345,11 +671,12 @@ func opKitsuneFeatures(ctx *opCtx, in []Value, p params) (Value, error) {
 		}
 	}
 	ds := pk.DS
-	fr := newPacketFrame(ds, ctx.streamBase())
+	n := pk.Len()
+	fr := newPacketFrame(n, ds, ctx.streamBase())
 	nFeat := len(lambdas) * 13
 	cols := make([][]float64, nFeat)
 	for j := range cols {
-		cols[j] = make([]float64, fr.N)
+		cols[j] = make([]float64, n)
 	}
 	prev, _ := ctx.carry()
 	car, ok := prev.(*kitsuneCarry)
@@ -364,59 +691,18 @@ func opKitsuneFeatures(ctx *opCtx, in []Value, p params) (Value, error) {
 		}
 		ctx.setCarry(car)
 	}
-	perLambda, lastSeen := car.perLambda, car.lastSeen
-	for i, pkt := range ds.Packets {
-		t := float64(pkt.Ts.UnixNano()) / 1e9
-		size := float64(pkt.WireLen())
-		srcKey, chanKey, sockKey := kitsuneKeys(pkt)
-		for li, lam := range lambdas {
-			st := perLambda[li][srcKey]
-			if st == nil {
-				st = &kitsuneStreams{
-					src:    features.NewIncStat(lam),
-					chanl:  features.NewIncStat(lam),
-					sock:   features.NewIncStat(lam),
-					jitter: features.NewIncStat(lam),
-					two:    features.NewIncStat2D(lam),
-				}
-				perLambda[li][srcKey] = st
-			}
-			// Jitter: inter-arrival within the channel.
-			if last, ok := lastSeen[li][chanKey]; ok {
-				st.jitter.Insert(t-last, t)
-			}
-			lastSeen[li][chanKey] = t
-			st.src.Insert(size, t)
-			// Channel/socket stats live in dedicated stream objects keyed
-			// by their own keys; reuse the map with prefixed keys.
-			cst := perLambda[li]["c|"+chanKey]
-			if cst == nil {
-				cst = &kitsuneStreams{src: features.NewIncStat(lam), two: features.NewIncStat2D(lam)}
-				perLambda[li]["c|"+chanKey] = cst
-			}
-			cst.src.Insert(size, t)
-			cst.two.Insert(size, float64(len(pkt.Payload)), t)
-			sst := perLambda[li]["s|"+sockKey]
-			if sst == nil {
-				sst = &kitsuneStreams{src: features.NewIncStat(lam)}
-				perLambda[li]["s|"+sockKey] = sst
-			}
-			sst.src.Insert(size, t)
-
-			base := li * 13
-			cols[base+0][i] = st.src.Weight()
-			cols[base+1][i] = st.src.Mean()
-			cols[base+2][i] = st.src.Std()
-			cols[base+3][i] = cst.src.Weight()
-			cols[base+4][i] = cst.src.Mean()
-			cols[base+5][i] = cst.src.Std()
-			cols[base+6][i] = sst.src.Weight()
-			cols[base+7][i] = sst.src.Mean()
-			cols[base+8][i] = sst.src.Std()
-			cols[base+9][i] = st.jitter.Mean()
-			cols[base+10][i] = st.jitter.Std()
-			cols[base+11][i] = cst.two.Magnitude()
-			cols[base+12][i] = cst.two.Cov()
+	if pk.Views != nil {
+		for i := range pk.Views {
+			vw := &pk.Views[i]
+			srcKey, chanKey, sockKey := kitsuneKeysView(vw)
+			car.fold(lambdas, cols, i, pktTime(vw.Ts), float64(vw.WireLen()),
+				float64(vw.PayloadLen()), srcKey, chanKey, sockKey)
+		}
+	} else {
+		for i, pkt := range ds.Packets {
+			srcKey, chanKey, sockKey := kitsuneKeys(pkt)
+			car.fold(lambdas, cols, i, pktTime(pkt.Ts), float64(pkt.WireLen()),
+				float64(len(pkt.Payload)), srcKey, chanKey, sockKey)
 		}
 	}
 	names := []string{"srcw", "srcmean", "srcstd", "chw", "chmean", "chstd", "skw", "skmean", "skstd", "jitmean", "jitstd", "mag", "cov"}
@@ -454,11 +740,70 @@ func kitsuneKeys(p *netpkt.Packet) (src, channel, socket string) {
 	return "?", "?", "?"
 }
 
+// kitsuneKeysView is kitsuneKeys over a lazy view.
+func kitsuneKeysView(v *netpkt.PacketView) (src, channel, socket string) {
+	if a := v.SrcIP(); a.IsValid() {
+		src = a.String()
+		channel = src + ">" + v.DstIP().String()
+		if ft, ok := v.Tuple(); ok {
+			socket = ft.String()
+		} else {
+			socket = channel
+		}
+		return src, channel, socket
+	}
+	if d, ok := v.Dot11(); ok {
+		src = d.Addr2.String()
+		channel = src + ">" + d.Addr1.String()
+		return src, channel, channel
+	}
+	if e, ok := v.Eth(); ok {
+		src = e.Src.String()
+		channel = src + ">" + e.Dst.String()
+		return src, channel, channel
+	}
+	return "?", "?", "?"
+}
+
 // dot11Carry keeps the per-transmitter damped rate trackers alive
 // across chunks so streamed execution matches batch execution.
 type dot11Carry struct {
 	perTx       map[string]*features.IncStat
 	perTxDeauth map[string]*features.IncStat
+}
+
+// dot11Fill bundles the output columns and rate trackers of one
+// dot11_features evaluation; fold writes row i from one 802.11 header.
+// Shared by the eager and view loops.
+type dot11Fill struct {
+	subtype, mgmt, retry, duration, rate, deauthRate, plen []float64
+	perTx, perTxDeauth                                     map[string]*features.IncStat
+	lam                                                    float64
+}
+
+func (f *dot11Fill) fold(i int, d *netpkt.Dot11, t, payLen float64) {
+	f.subtype[i] = float64(d.Subtype)
+	f.mgmt[i] = b2f(d.Subtype.IsManagement())
+	f.retry[i] = b2f(d.Retry)
+	f.duration[i] = float64(d.Duration)
+	f.plen[i] = payLen
+	key := d.Addr2.String()
+	st := f.perTx[key]
+	if st == nil {
+		st = features.NewIncStat(f.lam)
+		f.perTx[key] = st
+	}
+	st.Insert(1, t)
+	f.rate[i] = st.Weight()
+	dst := f.perTxDeauth[key]
+	if dst == nil {
+		dst = features.NewIncStat(f.lam)
+		f.perTxDeauth[key] = dst
+	}
+	if d.Subtype == netpkt.Dot11Deauth || d.Subtype == netpkt.Dot11Disassoc {
+		dst.Insert(1, t)
+	}
+	f.deauthRate[i] = dst.Weight()
 }
 
 func opDot11Features(ctx *opCtx, in []Value, p params) (Value, error) {
@@ -467,58 +812,45 @@ func opDot11Features(ctx *opCtx, in []Value, p params) (Value, error) {
 		return nil, err
 	}
 	ds := pk.DS
-	fr := newPacketFrame(ds, ctx.streamBase())
-	n := fr.N
+	n := pk.Len()
+	fr := newPacketFrame(n, ds, ctx.streamBase())
 	lam := p.f64("lambda", 0.5)
-	subtype := make([]float64, n)
-	mgmt := make([]float64, n)
-	retry := make([]float64, n)
-	duration := make([]float64, n)
-	rate := make([]float64, n)
-	deauthRate := make([]float64, n)
-	plen := make([]float64, n)
 	prev, _ := ctx.carry()
 	car, ok := prev.(*dot11Carry)
 	if !ok {
 		car = &dot11Carry{perTx: map[string]*features.IncStat{}, perTxDeauth: map[string]*features.IncStat{}}
 		ctx.setCarry(car)
 	}
-	perTx, perTxDeauth := car.perTx, car.perTxDeauth
-	for i, pkt := range ds.Packets {
-		d := pkt.Dot11
-		if d == nil {
-			continue
-		}
-		t := float64(pkt.Ts.UnixNano()) / 1e9
-		subtype[i] = float64(d.Subtype)
-		mgmt[i] = b2f(d.Subtype.IsManagement())
-		retry[i] = b2f(d.Retry)
-		duration[i] = float64(d.Duration)
-		plen[i] = float64(len(pkt.Payload))
-		key := d.Addr2.String()
-		st := perTx[key]
-		if st == nil {
-			st = features.NewIncStat(lam)
-			perTx[key] = st
-		}
-		st.Insert(1, t)
-		rate[i] = st.Weight()
-		dst := perTxDeauth[key]
-		if dst == nil {
-			dst = features.NewIncStat(lam)
-			perTxDeauth[key] = dst
-		}
-		if d.Subtype == netpkt.Dot11Deauth || d.Subtype == netpkt.Dot11Disassoc {
-			dst.Insert(1, t)
-		}
-		deauthRate[i] = dst.Weight()
+	fill := &dot11Fill{
+		subtype: make([]float64, n), mgmt: make([]float64, n),
+		retry: make([]float64, n), duration: make([]float64, n),
+		rate: make([]float64, n), deauthRate: make([]float64, n),
+		plen:  make([]float64, n),
+		perTx: car.perTx, perTxDeauth: car.perTxDeauth, lam: lam,
 	}
-	fr.AddF("subtype", subtype)
-	fr.AddF("is_mgmt", mgmt)
-	fr.AddF("retry", retry)
-	fr.AddF("duration", duration)
-	fr.AddF("tx_rate", rate)
-	fr.AddF("tx_deauth_rate", deauthRate)
-	fr.AddF("payload_len", plen)
+	if pk.Views != nil {
+		for i := range pk.Views {
+			vw := &pk.Views[i]
+			d, ok := vw.Dot11()
+			if !ok {
+				continue
+			}
+			fill.fold(i, d, pktTime(vw.Ts), float64(vw.PayloadLen()))
+		}
+	} else {
+		for i, pkt := range ds.Packets {
+			if pkt.Dot11 == nil {
+				continue
+			}
+			fill.fold(i, pkt.Dot11, pktTime(pkt.Ts), float64(len(pkt.Payload)))
+		}
+	}
+	fr.AddF("subtype", fill.subtype)
+	fr.AddF("is_mgmt", fill.mgmt)
+	fr.AddF("retry", fill.retry)
+	fr.AddF("duration", fill.duration)
+	fr.AddF("tx_rate", fill.rate)
+	fr.AddF("tx_deauth_rate", fill.deauthRate)
+	fr.AddF("payload_len", fill.plen)
 	return fr, nil
 }

@@ -319,6 +319,7 @@ func (e *Engine) RunStream(src dataset.Source, mode Mode, cfg StreamConfig) (*Ev
 		// hook's exactly-one-model-per-chunk contract holds.
 		cfg.Shards = 1
 	}
+	r.enableViews(src, &cfg)
 	if cfg.pipelined() {
 		return r.runPipelined(src, cfg)
 	}
@@ -334,7 +335,7 @@ func (e *Engine) RunStream(src dataset.Source, mode Mode, cfg StreamConfig) (*Ev
 		if e.Span != nil {
 			chunkSpan = e.Span.Child("chunk")
 			chunkSpan.Set("base", ck.Base)
-			chunkSpan.Set("rows", len(ck.Packets))
+			chunkSpan.Set("rows", ck.Len())
 		}
 		r.feedSinks(job)
 		r.runOps(job, r.pl.streamed, r.sc, chunkSpan)

@@ -1,0 +1,118 @@
+package core
+
+// stream_fast.go is the plan-time side of the zero-copy decode fast
+// path. Before a RunStream pass pulls its first chunk, viewHint walks
+// the planned ops and derives the decode depth the pipeline will
+// actually touch; if every consumer of the raw chunk is view-aware, the
+// source (when it implements dataset.ViewSource — PcapSource) is
+// switched to emitting lazy netpkt.PacketView chunks predecoded exactly
+// that deep. Ops then fill Frame columns straight from the views, and
+// layers no field needs are never parsed at all. See DESIGN.md "Decode
+// fast path".
+
+import (
+	"strings"
+
+	"lumen/internal/dataset"
+	"lumen/internal/netpkt"
+)
+
+// viewHint decides whether the planned stream can run on lazy
+// PacketView chunks and, if so, how deep the source should predecode
+// them. The fast path requires every reader of the raw chunk to be a
+// streamed, view-aware packet op; anything else — a deferred op or flow
+// sink needing the full packet set (pl.needPackets), or an op without a
+// columnar implementation — keeps the classic eager *Packet chunks.
+func (e *Engine) viewHint(pl *streamPlan) (netpkt.DecodeHint, bool) {
+	var hint netpkt.DecodeHint
+	if pl.needPackets {
+		return hint, false
+	}
+	for i, op := range e.P.Ops {
+		readsInput := false
+		for _, in := range op.Input {
+			if in == InputName {
+				readsInput = true
+			}
+		}
+		if !readsInput {
+			continue
+		}
+		if !pl.streamed[i] {
+			// planStream sets needPackets for deferred readers of the
+			// input, so this is unreachable; keep the guard defensive.
+			return netpkt.DecodeHint{}, false
+		}
+		switch op.Func {
+		case "field_extract":
+			for _, f := range params(op.Params).strList("fields") {
+				switch {
+				case f == "ts" || f == "iat" || f == "len":
+					// Metadata-only: needs no decoding at all.
+				case f == "dns_qr" || f == "dns_qd":
+					hint.Headers = true
+					hint.Apps |= netpkt.AppDNS
+				case f == "is_http" || strings.HasPrefix(f, "http_"):
+					hint.Headers = true
+					hint.Apps |= netpkt.AppHTTP
+				case f == "is_mqtt" || strings.HasPrefix(f, "mqtt_"):
+					hint.Headers = true
+					hint.Apps |= netpkt.AppMQTT
+				default:
+					hint.Headers = true
+				}
+			}
+		case "nprint", "kitsune_features", "dot11_features":
+			hint.Headers = true
+		default:
+			// No view-aware implementation: the op expects *Packet.
+			return netpkt.DecodeHint{}, false
+		}
+	}
+	return hint, true
+}
+
+// enableViews switches the source onto lazy view chunks when the plan
+// permits it, recording the decision on the pass. It must run before the
+// first chunk is pulled. Hooked runs stay eager — the ChunkUpdate
+// callback contract exposes the chunk's decoded Packets — and lazy runs
+// demote the sink to a single shard, because the shard router partitions
+// on eagerly decoded packets.
+func (r *streamExec) enableViews(src dataset.Source, cfg *StreamConfig) {
+	vs, ok := src.(dataset.ViewSource)
+	if !ok {
+		return
+	}
+	if cfg.Hooks.active() {
+		vs.ConfigureViews(false, netpkt.DecodeHint{})
+		return
+	}
+	hint, ok := r.e.viewHint(r.pl)
+	if !ok || !vs.ConfigureViews(true, hint) {
+		vs.ConfigureViews(false, netpkt.DecodeHint{})
+		return
+	}
+	r.lazyViews = true
+	cfg.Shards = 1
+}
+
+// countDecode feeds the decode counters for one absorbed view chunk:
+// every view-path packet, and the subset whose header decode never ran
+// (the plan needed nothing beyond record metadata).
+func (r *streamExec) countDecode(views []netpkt.PacketView) {
+	if r.e.Metrics == nil || len(views) == 0 {
+		return
+	}
+	skips := 0
+	for i := range views {
+		if !views[i].HeadersDecoded() {
+			skips++
+		}
+	}
+	r.e.Metrics.Counter("lumen_decode_packets_total",
+		"Packets delivered as lazy views through the decode fast path of streaming runs.").Add(uint64(len(views)))
+	if skips > 0 {
+		r.e.Metrics.Counter("lumen_decode_lazy_skips_total",
+			"View-path packets whose L2-L4 header decode was never needed and so never ran.").Add(uint64(skips))
+	}
+}

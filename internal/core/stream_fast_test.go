@@ -1,0 +1,260 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"runtime/debug"
+	"testing"
+
+	"lumen/internal/dataset"
+	"lumen/internal/pcap"
+)
+
+// eagerSource hides the wrapped source's ConfigureViews so the run
+// decodes every packet eagerly — the comparison baseline for the
+// zero-copy fast path. Recycling stays active to keep the runs
+// otherwise identical.
+type eagerSource struct {
+	inner *dataset.PcapSource
+}
+
+func (s *eagerSource) Meta() dataset.SourceMeta { return s.inner.Meta() }
+
+func (s *eagerSource) Next(maxRows, maxBytes int) (dataset.Chunk, bool) {
+	return s.inner.Next(maxRows, maxBytes)
+}
+
+func (s *eagerSource) Reset() error { return s.inner.Reset() }
+
+func (s *eagerSource) Err() error { return s.inner.Err() }
+
+func (s *eagerSource) Recycle(ck dataset.Chunk) { s.inner.Recycle(ck) }
+
+// captureBytes serializes a dataset to an in-memory pcap.
+func captureBytes(t testing.TB, ds *dataset.Labeled) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := pcap.NewWriter(&buf, ds.Link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ds.Packets {
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// appFieldPipeline touches every app-layer field class, forcing the
+// deepest lazy decode (headers + DNS + HTTP + MQTT).
+func appFieldPipeline() *Pipeline {
+	return &Pipeline{
+		Name:        "stream-field-apps",
+		Granularity: "packet",
+		Ops: []OpSpec{
+			{Func: "field_extract", Input: []string{InputName}, Output: "X",
+				Params: map[string]any{"fields": []any{
+					"len", "proto", "payload_len",
+					"dns_qr", "dns_qd", "is_http", "http_status", "is_mqtt", "mqtt_type",
+				}}},
+			{Func: "model", Output: "m", Params: map[string]any{"model_type": "decision_tree", "max_depth": 6}},
+			{Func: "train", Input: []string{"m", "X"}, Output: "fit"},
+		},
+	}
+}
+
+// metaFieldPipeline reads only packet metadata (ts/len/iat), the depth
+// at which the fast path skips header decoding entirely.
+func metaFieldPipeline() *Pipeline {
+	return &Pipeline{
+		Name:        "stream-field-meta",
+		Granularity: "packet",
+		Ops: []OpSpec{
+			{Func: "field_extract", Input: []string{InputName}, Output: "X",
+				Params: map[string]any{"fields": []any{"ts", "len", "iat"}}},
+			{Func: "model", Output: "m", Params: map[string]any{"model_type": "decision_tree", "max_depth": 6}},
+			{Func: "train", Input: []string{"m", "X"}, Output: "fit"},
+		},
+	}
+}
+
+// TestStreamFastPathEquivalence is the acceptance sweep for the
+// zero-copy decode fast path: for every packet-op class, at every
+// decode depth the planner can choose, a test pass over a pcap source
+// with lazy views enabled must be bit-identical to the same pass
+// decoding eagerly — sequential and pipelined.
+func TestStreamFastPathEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *Pipeline
+		ds   string
+	}{
+		{"field-headers", fieldPipeline(), "P0"},
+		{"field-apps", appFieldPipeline(), "P0"},
+		{"field-meta", metaFieldPipeline(), "P0"},
+		{"nprint", nprintPipeline(), "P0"},
+		{"kitsune", kitsunePipeline(), "P1"},
+		{"autoencoder-scores", scorePipeline(), "P3"},
+		{"dot11", dot11Pipeline(), "P2"},
+	}
+	shapes := []StreamConfig{
+		{ChunkRows: 64},
+		{ChunkRows: 64, PipelineDepth: 2, Workers: 2},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			spec, ok := dataset.Get(tc.ds)
+			if !ok {
+				t.Fatalf("no dataset %s", tc.ds)
+			}
+			ds := spec.Generate(0.05)
+			raw := captureBytes(t, ds)
+			eng := NewEngine(tc.p)
+			eng.Seed = 7
+			if err := eng.Train(ds); err != nil {
+				t.Fatal(err)
+			}
+			for _, cfg := range shapes {
+				label := fmt.Sprintf("depth %d, workers %d", cfg.PipelineDepth, cfg.Workers)
+				es, err := dataset.NewPcapSource("mem.pcap", bytes.NewReader(raw), dataset.Packet)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := eng.RunStream(&eagerSource{inner: es}, ModeTest, cfg)
+				if err != nil {
+					t.Fatalf("eager (%s): %v", label, err)
+				}
+				if eng.LastStream.LazyViews {
+					t.Fatalf("eager run (%s) took the fast path", label)
+				}
+
+				ls, err := dataset.NewPcapSource("mem.pcap", bytes.NewReader(raw), dataset.Packet)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := eng.RunStream(ls, ModeTest, cfg)
+				if err != nil {
+					t.Fatalf("lazy (%s): %v", label, err)
+				}
+				if !eng.LastStream.LazyViews {
+					t.Fatalf("lazy run (%s) did not take the fast path", label)
+				}
+				requireEqualResults(t, want, got, tc.name+" "+label)
+			}
+		})
+	}
+}
+
+// TestStreamFastPathShardsForcedSequentialSink: the shard router
+// partitions on eagerly decoded packets, so view mode must fold a
+// sharded request back to one lane rather than decode eagerly.
+func TestStreamFastPathShardsForcedSequentialSink(t *testing.T) {
+	spec, _ := dataset.Get("P0")
+	ds := spec.Generate(0.05)
+	raw := captureBytes(t, ds)
+	p := fieldPipeline()
+	eng := NewEngine(p)
+	eng.Seed = 7
+	if err := eng.Train(ds); err != nil {
+		t.Fatal(err)
+	}
+	src, err := dataset.NewPcapSource("mem.pcap", bytes.NewReader(raw), dataset.Packet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunStream(src, ModeTest, StreamConfig{ChunkRows: 64, PipelineDepth: 2, Workers: 2, Shards: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.LastStream.LazyViews {
+		t.Fatal("fast path should engage")
+	}
+	if eng.LastStream.Shards != 1 {
+		t.Fatalf("Shards = %d, want 1 under lazy views", eng.LastStream.Shards)
+	}
+}
+
+// TestStreamFastPathDisabledByHooks: chunk hooks observe decoded
+// packets (ChunkUpdate.Packets), so an engine with hooks must stay on
+// the eager path.
+func TestStreamFastPathDisabledByHooks(t *testing.T) {
+	spec, _ := dataset.Get("P0")
+	ds := spec.Generate(0.05)
+	raw := captureBytes(t, ds)
+	p := fieldPipeline()
+	eng := NewEngine(p)
+	eng.Seed = 7
+	if err := eng.Train(ds); err != nil {
+		t.Fatal(err)
+	}
+	src, err := dataset.NewPcapSource("mem.pcap", bytes.NewReader(raw), dataset.Packet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := StreamConfig{
+		ChunkRows: 64,
+		Hooks:     &StreamHooks{AfterChunk: func(ChunkUpdate) error { return nil }},
+	}
+	if _, err := eng.RunStream(src, ModeTest, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if eng.LastStream.LazyViews {
+		t.Fatal("hooks must force the eager path")
+	}
+}
+
+// TestStreamLazyViewsAllocs pins the allocation budget of the zero-copy
+// columnar path: a steady-state test pass over a pooled pcap source
+// must stay within 2 allocations per packet (the eager path pays 5+
+// just materializing layer structs).
+func TestStreamLazyViewsAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts at random under the race detector; allocation thresholds do not hold")
+	}
+	spec, _ := dataset.Get("P0")
+	ds := spec.Generate(0.1)
+	raw := captureBytes(t, ds)
+	p := &Pipeline{
+		Name:        "stream-allocs",
+		Granularity: "packet",
+		Ops: []OpSpec{
+			{Func: "field_extract", Input: []string{InputName}, Output: "X",
+				Params: map[string]any{"fields": []any{"len", "ttl", "dst_port"}}},
+			{Func: "model", Output: "m", Params: map[string]any{"model_type": "decision_tree", "max_depth": 6}},
+			{Func: "train", Input: []string{"m", "X"}, Output: "fit"},
+		},
+	}
+	eng := NewEngine(p)
+	eng.Seed = 7
+	if err := eng.Train(ds); err != nil {
+		t.Fatal(err)
+	}
+	src, err := dataset.NewPcapSource("mem.pcap", bytes.NewReader(raw), dataset.Packet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := StreamConfig{ChunkRows: 512}
+	pass := func() {
+		if _, err := eng.RunStream(src, ModeTest, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if err := src.Reset(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pass() // warm the pools
+	if !eng.LastStream.LazyViews {
+		t.Fatal("fast path should engage")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	perRun := testing.AllocsPerRun(3, pass)
+	perPkt := perRun / float64(len(ds.Packets))
+	t.Logf("%.0f allocs/run over %d packets = %.2f allocs/packet", perRun, len(ds.Packets), perPkt)
+	if perPkt > 2 {
+		t.Errorf("lazy columnar path allocates %.2f/packet, budget is 2", perPkt)
+	}
+}

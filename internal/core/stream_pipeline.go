@@ -40,6 +40,10 @@ type StreamStats struct {
 	// HWMBytes is the live-heap high-water mark sampled at chunk
 	// boundaries (the lumen_stream_hwm_bytes gauge).
 	HWMBytes uint64
+	// LazyViews reports that the pass ran on the zero-copy decode fast
+	// path: the source emitted lazy PacketView chunks and the packet ops
+	// filled frame columns straight from them.
+	LazyViews bool
 }
 
 // runPipelined executes one RunStream pass as a staged, bounded-channel
@@ -119,7 +123,7 @@ func (r *streamExec) runPipelined(src dataset.Source, cfg StreamConfig) (*EvalRe
 				if stage != nil {
 					cs = stage.Child("chunk")
 					cs.Set("base", nc.Base)
-					cs.Set("rows", len(nc.Packets))
+					cs.Set("rows", nc.Len())
 				}
 				r.runOps(job, r.pl.worker, &job.wsc, cs)
 				if cs != nil {
@@ -271,7 +275,7 @@ func (r *streamExec) sinkChunk(j *chunkJob, stage *obs.Span) error {
 		if stage != nil {
 			cs = stage.Child("chunk")
 			cs.Set("base", j.nc.Base)
-			cs.Set("rows", len(j.nc.Packets))
+			cs.Set("rows", j.nc.Len())
 		}
 		r.feedSinks(j)
 		r.runOps(j, r.pl.ordered, r.sc, cs)

@@ -32,7 +32,10 @@ type streamExec struct {
 	// hooks are the pass's per-chunk callbacks (nil when unhooked); absorb
 	// invokes them on the ordered sink goroutine.
 	hooks *StreamHooks
-	prof  []OpStats
+	// lazyViews records that enableViews switched the source onto the
+	// zero-copy PacketView fast path for this pass.
+	lazyViews bool
+	prof      []OpStats
 
 	accum   map[string][]*Frame
 	lastVal map[string]Value
@@ -186,7 +189,7 @@ func (r *streamExec) newJob(nc dataset.NumberedChunk) *chunkJob {
 	} else {
 		clear(j.env)
 	}
-	j.env[InputName] = Packets{DS: j.cds}
+	j.env[InputName] = Packets{DS: j.cds, Views: nc.Views}
 	if cap(j.stats) < len(r.e.P.Ops) {
 		j.stats = make([]OpStats, len(r.e.P.Ops))
 	} else {
@@ -336,6 +339,7 @@ func (r *streamExec) absorb(job *chunkJob) error {
 		r.e.Metrics.Counter("lumen_chunks_total",
 			"Chunks pulled from packet sources by streaming runs.").Inc()
 	}
+	r.countDecode(job.nc.Views)
 	// The hook runs last, once the chunk is fully folded into the run, so
 	// callbacks observe a consistent pass state. Its error aborts the
 	// stream exactly like an op failure in this chunk would have.
@@ -428,6 +432,7 @@ func (r *streamExec) finish() (*EvalResult, error) {
 	e.Profile = append(e.Profile[:0], r.prof...)
 	e.LastStream.Chunks = r.nChunks
 	e.LastStream.HWMBytes = r.hwm
+	e.LastStream.LazyViews = r.lazyViews
 	if r.mode == ModeTrain {
 		e.trained = true
 	}

@@ -14,6 +14,7 @@ import (
 	"lumen/internal/dataset"
 	"lumen/internal/flow"
 	"lumen/internal/mlkit"
+	"lumen/internal/netpkt"
 )
 
 // Kind identifies the type of a pipeline value; the engine type-checks
@@ -53,11 +54,31 @@ func (k Kind) String() string {
 // Value is anything an operation can produce or consume.
 type Value interface{ Kind() Kind }
 
-// Packets wraps a labelled dataset as a pipeline input.
-type Packets struct{ DS *dataset.Labeled }
+// Packets wraps a labelled dataset as a pipeline input. On the lazy
+// decode fast path Views carries the chunk's packets as zero-copy
+// PacketViews instead of DS.Packets (which is then empty); DS still
+// supplies labels, attacks and stream metadata. Ops that support the
+// columnar path check Views first; everything else sees the classic
+// eager representation.
+type Packets struct {
+	DS *dataset.Labeled
+	// Views is non-nil only on view-mode streaming chunks.
+	Views []netpkt.PacketView
+}
 
 // Kind implements Value.
 func (Packets) Kind() Kind { return KindPackets }
+
+// Len returns the packet count in either representation.
+func (p Packets) Len() int {
+	if p.Views != nil {
+		return len(p.Views)
+	}
+	if p.DS == nil {
+		return 0
+	}
+	return len(p.DS.Packets)
+}
 
 // Flows is the output of flow assembly: either uniflows or connections,
 // with the source dataset retained for label and attack attribution.

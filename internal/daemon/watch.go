@@ -142,13 +142,21 @@ func (s *DirSource) scan() string {
 	return ""
 }
 
+// bufferedFile hides the *os.File concrete type from NewPcapSource's
+// mmap detection. A directory watch hands chunks downstream that can
+// outlive each rotated file's reader, so there is no point in the watch
+// loop where releasing a memory mapping (PcapSource.Close) would be
+// safe; buffered reads copy record bytes into pooled buffers, which
+// carry no such lifetime constraint.
+type bufferedFile struct{ *os.File }
+
 // open starts streaming one capture file.
 func (s *DirSource) open(path string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("daemon: watch %q: %w", s.name, err)
 	}
-	src, err := dataset.NewPcapSource(filepath.Base(path), f, s.gran)
+	src, err := dataset.NewPcapSource(filepath.Base(path), bufferedFile{f}, s.gran)
 	if err != nil {
 		f.Close()
 		return fmt.Errorf("daemon: watch %q: %s: %w", s.name, filepath.Base(path), err)

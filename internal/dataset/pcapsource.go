@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 
+	"lumen/internal/netpkt"
 	"lumen/internal/pcap"
 )
 
@@ -12,6 +14,14 @@ import (
 // whole file — the genuinely bounded-memory ingestion path: peak memory
 // is one chunk of decoded packets, independent of capture size. Packets
 // carry zero labels (live captures have no ground truth).
+//
+// When the underlying stream is a regular file, the source memory-maps
+// it and reads zero-copy: record bytes are views into the mapping, with
+// no per-record copy or allocation. Consumers may additionally opt into
+// lazy chunks of netpkt.PacketView via ConfigureViews (the ViewSource
+// interface), skipping eager per-packet Decode entirely. In mmap mode
+// the caller must Close the source once every chunk is released; chunk
+// data is invalid afterwards.
 type PcapSource struct {
 	name string
 	rs   io.ReadSeeker
@@ -19,6 +29,9 @@ type PcapSource struct {
 	gran Granularity
 	base int
 	pool *pcap.BufferPool
+	// view/hint select lazy PacketView chunks (ConfigureViews).
+	view bool
+	hint netpkt.DecodeHint
 	// emitted tracks the at-least-one-chunk contract for empty captures.
 	emitted bool
 	done    bool
@@ -27,30 +40,79 @@ type PcapSource struct {
 
 // NewPcapSource opens a capture for chunked streaming. rs must be
 // positioned at the pcap global header; it is retained for Reset.
-// The source carries a buffer pool: consumers that fully process a chunk
-// without retaining its packets may hand it back with Recycle, and the
-// decoder reuses the buffers for later chunks.
+// Regular files are memory-mapped (zero-copy reads); other streams use
+// the buffered reader. The source carries a buffer pool: consumers that
+// fully process a chunk without retaining its packets may hand it back
+// with Recycle, and the decoder reuses the buffers for later chunks.
 func NewPcapSource(name string, rs io.ReadSeeker, gran Granularity) (*PcapSource, error) {
-	r, err := pcap.NewReader(rs)
-	if err != nil {
-		return nil, err
+	var r *pcap.Reader
+	if f, ok := rs.(*os.File); ok {
+		if mr, err := pcap.OpenMmap(f); err == nil {
+			r = mr
+		}
+	}
+	if r == nil {
+		var err error
+		r, err = pcap.NewReader(rs)
+		if err != nil {
+			return nil, err
+		}
 	}
 	pool := pcap.NewBufferPool()
 	r.SetBufferPool(pool)
 	return &PcapSource{name: name, rs: rs, r: r, gran: gran, pool: pool}, nil
 }
 
+// ConfigureViews implements ViewSource: with on=true, Next emits chunks
+// of lazy PacketViews predecoded to hint's depth instead of eagerly
+// decoded Packets. PcapSource always honours the request.
+func (p *PcapSource) ConfigureViews(on bool, hint netpkt.DecodeHint) bool {
+	p.view, p.hint = on, hint
+	return true
+}
+
+// DecodeMode describes how the source reads and decodes, for operator
+// surfaces: "mmap" or "buffered", with "+lazy" when view chunks are on.
+func (p *PcapSource) DecodeMode() string {
+	mode := "buffered"
+	if p.r.ZeroCopy() {
+		mode = "mmap"
+	}
+	if p.view {
+		mode += "+lazy"
+	}
+	return mode
+}
+
 // Recycle implements Recycler: it returns ck's packet data buffers and
-// packet slice to the decoder's pool. The caller must not touch ck (or
-// anything aliasing its packets' Data/Payload) afterwards. Safe to call
-// concurrently with Next — a pipelined sink recycles chunks while the
-// source goroutine decodes ahead.
+// packet/view slice to the decoder's pool. The caller must not touch ck
+// (or anything aliasing its packets' Data/Payload) afterwards. Safe to
+// call concurrently with Next — a pipelined sink recycles chunks while
+// the source goroutine decodes ahead. In mmap mode the record bytes
+// alias the mapping and are never pooled — only the slices are.
 func (p *PcapSource) Recycle(ck Chunk) {
-	for _, pkt := range ck.Packets {
-		p.pool.PutData(pkt.Data)
+	zc := p.r.ZeroCopy()
+	if ck.Views != nil {
+		if !zc {
+			for i := range ck.Views {
+				p.pool.PutData(ck.Views[i].Data)
+			}
+		}
+		p.pool.PutViews(ck.Views)
+		return
+	}
+	if !zc {
+		for _, pkt := range ck.Packets {
+			p.pool.PutData(pkt.Data)
+		}
 	}
 	p.pool.PutPkts(ck.Packets)
 }
+
+// Close releases the memory mapping of an mmap-backed source (a no-op
+// for buffered ones). Every outstanding chunk's data becomes invalid; it
+// does not close the stream handed to NewPcapSource.
+func (p *PcapSource) Close() error { return p.r.Close() }
 
 // PoolStats reports the decode buffer pool's request/reuse counters.
 func (p *PcapSource) PoolStats() (gets, reuses uint64) { return p.pool.Stats() }
@@ -66,7 +128,19 @@ func (p *PcapSource) Next(maxRows, maxBytes int) (Chunk, bool) {
 	if p.done {
 		return Chunk{}, false
 	}
-	pkts, err := p.r.ReadChunk(maxRows, maxBytes)
+	var (
+		pkts  []*netpkt.Packet
+		views []netpkt.PacketView
+		n     int
+		err   error
+	)
+	if p.view {
+		views, err = p.r.ReadViews(maxRows, maxBytes, p.hint)
+		n = len(views)
+	} else {
+		pkts, err = p.r.ReadChunk(maxRows, maxBytes)
+		n = len(pkts)
+	}
 	if errors.Is(err, io.EOF) {
 		p.done = true
 		if p.emitted {
@@ -78,17 +152,18 @@ func (p *PcapSource) Next(maxRows, maxBytes int) (Chunk, bool) {
 	if err != nil {
 		p.done = true
 		p.err = err
-		if len(pkts) == 0 {
+		if n == 0 {
 			return Chunk{}, false
 		}
 	}
 	c := Chunk{
 		Base:    p.base,
 		Packets: pkts,
-		Labels:  make([]int, len(pkts)),
-		Attacks: make([]string, len(pkts)),
+		Views:   views,
+		Labels:  make([]int, n),
+		Attacks: make([]string, n),
 	}
-	p.base += len(pkts)
+	p.base += n
 	p.emitted = true
 	return c, true
 }
@@ -96,19 +171,22 @@ func (p *PcapSource) Next(maxRows, maxBytes int) (Chunk, bool) {
 // Err reports the read error that ended the stream, if any.
 func (p *PcapSource) Err() error { return p.err }
 
-// Reset implements Source: it seeks back to the capture start and
-// re-parses the global header. The buffer pool (with whatever it
-// accumulated) carries over to the new pass.
+// Reset implements Source: it rewinds to the capture start — in place
+// for mmap-backed readers, via re-seek and header re-parse for buffered
+// ones. The buffer pool (with whatever it accumulated) carries over to
+// the new pass.
 func (p *PcapSource) Reset() error {
-	if _, err := p.rs.Seek(0, io.SeekStart); err != nil {
-		return fmt.Errorf("dataset: rewinding pcap source: %w", err)
+	if !p.r.Rewind() {
+		if _, err := p.rs.Seek(0, io.SeekStart); err != nil {
+			return fmt.Errorf("dataset: rewinding pcap source: %w", err)
+		}
+		r, err := pcap.NewReader(p.rs)
+		if err != nil {
+			return err
+		}
+		r.SetBufferPool(p.pool)
+		p.r = r
 	}
-	r, err := pcap.NewReader(p.rs)
-	if err != nil {
-		return err
-	}
-	r.SetBufferPool(p.pool)
-	p.r = r
 	p.base, p.emitted, p.done, p.err = 0, false, false, nil
 	return nil
 }

@@ -92,7 +92,7 @@ func StartPump(src Source, cfg PumpConfig) *Pump {
 				return
 			}
 			p.chunks.Add(1)
-			p.addInFlight(int64(wireBytes(ck)))
+			p.addInFlight(int64(ck.WireBytes()))
 			start := time.Now()
 			select {
 			case ch <- NumberedChunk{Seq: seq, Chunk: ck}:
@@ -122,7 +122,7 @@ func (p *Pump) addInFlight(d int64) {
 // pool. Call it exactly once per chunk received from C, from any
 // goroutine, only when nothing references the chunk's packets anymore.
 func (p *Pump) Done(ck NumberedChunk) {
-	p.addInFlight(-int64(wireBytes(ck.Chunk)))
+	p.addInFlight(-int64(ck.WireBytes()))
 	if p.rec != nil {
 		p.rec.Recycle(ck.Chunk)
 	}
@@ -153,13 +153,4 @@ func (p *Pump) Stats() PumpStats {
 		PeakInFlightBytes: p.peak.Load(),
 		StallNS:           p.stallNS.Load(),
 	}
-}
-
-// wireBytes sums the on-wire sizes of a chunk's packets.
-func wireBytes(ck Chunk) int {
-	n := 0
-	for _, p := range ck.Packets {
-		n += p.WireLen()
-	}
-	return n
 }

@@ -11,10 +11,37 @@ type Chunk struct {
 	// Base is the global index of Packets[0] in the full stream.
 	Base    int
 	Packets []*netpkt.Packet
-	// Labels and Attacks align with Packets; nil when the source carries
-	// no ground truth (live captures).
+	// Views is the lazy columnar alternative to Packets: zero-copy
+	// PacketViews that decode layers on first touch. A chunk carries
+	// either Packets or Views, never both (both nil for an empty chunk).
+	// Views are only emitted by sources whose consumer opted in via
+	// ViewSource.ConfigureViews; they stay valid until the chunk is
+	// recycled (or the source closed, for mmap-backed sources).
+	Views []netpkt.PacketView
+	// Labels and Attacks align with Packets/Views; nil when the source
+	// carries no ground truth (live captures).
 	Labels  []int
 	Attacks []string
+}
+
+// Len returns the packet count of the chunk in either representation.
+func (c Chunk) Len() int {
+	if c.Views != nil {
+		return len(c.Views)
+	}
+	return len(c.Packets)
+}
+
+// WireBytes sums the on-wire sizes of the chunk's packets.
+func (c Chunk) WireBytes() int {
+	n := 0
+	for i := range c.Views {
+		n += c.Views[i].WireLen()
+	}
+	for _, p := range c.Packets {
+		n += p.WireLen()
+	}
+	return n
 }
 
 // SourceMeta describes a packet source without materializing it.
@@ -41,6 +68,17 @@ type Source interface {
 	Next(maxRows, maxBytes int) (Chunk, bool)
 	// Reset rewinds the source so it can be streamed again.
 	Reset() error
+}
+
+// ViewSource is implemented by sources that can emit chunks of lazy
+// PacketViews instead of eagerly decoded Packets (PcapSource). The
+// consumer — whose plan knows how deep it will look — opts in with
+// ConfigureViews before streaming; hint is the decode depth to apply on
+// the source goroutine. The return reports whether the source honours
+// the request (a source may refuse, e.g. for link types it cannot view).
+// Calling with on=false restores eager chunks.
+type ViewSource interface {
+	ConfigureViews(on bool, hint netpkt.DecodeHint) bool
 }
 
 // SliceSource streams an in-memory dataset as zero-copy chunk views.

@@ -1,0 +1,80 @@
+package dataset
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"lumen/internal/netpkt"
+	"lumen/internal/pcap"
+)
+
+// TestLazyViewsMatchEagerAcrossRegistry replays the first chunk of every
+// registered dataset through both PcapSource decode modes: materialized
+// lazy views must be identical to the eagerly decoded packets on each
+// dataset's real traffic mix (every link type, protocol blend and attack
+// shape the generators produce).
+func TestLazyViewsMatchEagerAcrossRegistry(t *testing.T) {
+	const rows = 200
+	for _, spec := range Registry() {
+		spec := spec
+		t.Run(spec.ID, func(t *testing.T) {
+			ds := spec.Generate(0.05)
+			n := len(ds.Packets)
+			if n > rows {
+				n = rows
+			}
+			if n == 0 {
+				t.Skip("generator produced no packets at this scale")
+			}
+			var buf bytes.Buffer
+			w, err := pcap.NewWriter(&buf, ds.Link)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range ds.Packets[:n] {
+				if err := w.WritePacket(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			raw := buf.Bytes()
+
+			eager, err := NewPcapSource(spec.ID, bytes.NewReader(raw), spec.Granularity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eck, ok := eager.Next(rows, 0)
+			if !ok || eager.Err() != nil {
+				t.Fatalf("eager chunk: ok=%v err=%v", ok, eager.Err())
+			}
+
+			lazy, err := NewPcapSource(spec.ID, bytes.NewReader(raw), spec.Granularity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hint := netpkt.DecodeHint{Headers: true, Apps: netpkt.AppDNS | netpkt.AppHTTP | netpkt.AppMQTT}
+			if !lazy.ConfigureViews(true, hint) {
+				t.Fatal("ConfigureViews refused view mode")
+			}
+			lck, ok := lazy.Next(rows, 0)
+			if !ok || lazy.Err() != nil {
+				t.Fatalf("lazy chunk: ok=%v err=%v", ok, lazy.Err())
+			}
+			if lck.Views == nil || lck.Packets != nil {
+				t.Fatalf("lazy chunk shape: views=%d packets=%d", len(lck.Views), len(lck.Packets))
+			}
+			if len(lck.Views) != len(eck.Packets) {
+				t.Fatalf("lazy chunk has %d views, eager %d packets", len(lck.Views), len(eck.Packets))
+			}
+			for i := range lck.Views {
+				got := lck.Views[i].Materialize()
+				if !reflect.DeepEqual(got, eck.Packets[i]) {
+					t.Fatalf("packet %d differs:\nview:  %+v\neager: %+v", i, got, eck.Packets[i])
+				}
+			}
+		})
+	}
+}

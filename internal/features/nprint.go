@@ -41,15 +41,61 @@ func (c NPrintConfig) Width() int {
 	return n
 }
 
+// Shape is the minimal description of a packet that nprint rendering
+// needs: the raw frame, which headers are present, and the payload
+// length. It is derivable from either an eagerly decoded Packet or a
+// lazy PacketView, so both representations share one fill path.
+type Shape struct {
+	Raw        []byte
+	Link       netpkt.LinkType
+	HasIPv4    bool
+	HasTCP     bool
+	HasUDP     bool
+	HasICMP    bool
+	PayloadLen int
+}
+
+// ShapeOf derives the Shape of an eagerly decoded packet.
+func ShapeOf(p *netpkt.Packet) Shape {
+	return Shape{
+		Raw: p.Data, Link: p.Link,
+		HasIPv4: p.IPv4 != nil, HasTCP: p.TCP != nil,
+		HasUDP: p.UDP != nil, HasICMP: p.ICMP != nil,
+		PayloadLen: len(p.Payload),
+	}
+}
+
+// ShapeOfView derives the Shape of a lazy view, forcing only its header
+// pass (nprint reads raw header bytes, never the app layers).
+func ShapeOfView(v *netpkt.PacketView) Shape {
+	_, ip4 := v.IPv4()
+	_, tcp := v.TCP()
+	_, udp := v.UDP()
+	_, icmp := v.ICMP()
+	return Shape{
+		Raw: v.Data, Link: v.Link,
+		HasIPv4: ip4, HasTCP: tcp, HasUDP: udp, HasICMP: icmp,
+		PayloadLen: v.PayloadLen(),
+	}
+}
+
 // Vector renders one packet to its nprint bit vector: 1/0 for present
 // header bits, -1 for bits of absent sections.
 func (c NPrintConfig) Vector(p *netpkt.Packet) []float64 {
-	out := make([]float64, 0, c.Width())
-	raw := p.Data
+	out := make([]float64, c.Width())
+	c.FillRow(out, ShapeOf(p))
+	return out
+}
+
+// FillRow renders one packet's nprint bits into dst, which must have
+// length Width(). Callers that reuse dst across packets avoid the
+// per-packet vector allocation of Vector; the bit layout is identical.
+func (c NPrintConfig) FillRow(dst []float64, s Shape) {
+	raw := s.Raw
 	// Locate header byte ranges inside the raw frame.
 	var ipStart, l4Start int = -1, -1
-	if p.Link == netpkt.LinkEthernet && len(raw) >= 14 {
-		if p.IPv4 != nil {
+	if s.Link == netpkt.LinkEthernet && len(raw) >= 14 {
+		if s.HasIPv4 {
 			ipStart = 14
 			ihl := 20
 			if len(raw) > 14 {
@@ -58,45 +104,48 @@ func (c NPrintConfig) Vector(p *netpkt.Packet) []float64 {
 			l4Start = 14 + ihl
 		}
 	}
+	off := 0
 	if c.IPv4 {
-		out = appendBits(out, raw, ipStart, 20, p.IPv4 != nil)
+		off = fillBits(dst, off, raw, ipStart, 20, s.HasIPv4)
 	}
 	if c.TCP {
-		out = appendBits(out, raw, l4Start, 20, p.TCP != nil)
+		off = fillBits(dst, off, raw, l4Start, 20, s.HasTCP)
 	}
 	if c.UDP {
-		out = appendBits(out, raw, l4Start, 8, p.UDP != nil)
+		off = fillBits(dst, off, raw, l4Start, 8, s.HasUDP)
 	}
 	if c.ICMP {
-		out = appendBits(out, raw, l4Start, 8, p.ICMP != nil)
+		off = fillBits(dst, off, raw, l4Start, 8, s.HasICMP)
 	}
 	if c.Payload > 0 {
 		payStart := -1
-		if len(p.Payload) > 0 && len(raw) >= len(p.Payload) {
-			payStart = len(raw) - len(p.Payload)
+		if s.PayloadLen > 0 && len(raw) >= s.PayloadLen {
+			payStart = len(raw) - s.PayloadLen
 		}
-		out = appendBits(out, raw, payStart, c.Payload, payStart >= 0)
+		fillBits(dst, off, raw, payStart, c.Payload, payStart >= 0)
 	}
-	return out
 }
 
-// appendBits appends nBytes*8 bit features from raw[start:]; absent or
-// truncated regions fill with -1.
-func appendBits(out []float64, raw []byte, start, nBytes int, present bool) []float64 {
+// fillBits writes nBytes*8 bit features from raw[start:] into dst at
+// off, returning the next offset; absent or truncated regions fill
+// with -1.
+func fillBits(dst []float64, off int, raw []byte, start, nBytes int, present bool) int {
 	for i := 0; i < nBytes; i++ {
 		idx := start + i
 		if !present || start < 0 || idx >= len(raw) {
 			for b := 0; b < 8; b++ {
-				out = append(out, -1)
+				dst[off] = -1
+				off++
 			}
 			continue
 		}
 		v := raw[idx]
 		for b := 7; b >= 0; b-- {
-			out = append(out, float64((v>>uint(b))&1))
+			dst[off] = float64((v >> uint(b)) & 1)
+			off++
 		}
 	}
-	return out
+	return off
 }
 
 // Standard nprint variants as used in the paper's Table 2.

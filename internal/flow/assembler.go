@@ -34,31 +34,38 @@ func NewUniflowAssembler(opts Options) *UniflowAssembler {
 // without a five-tuple advance the idle sweep but join no flow. Packets
 // must arrive in non-decreasing time order.
 func (a *UniflowAssembler) Add(i int, p *netpkt.Packet) []*Uniflow {
+	return a.AddSummary(i, p.Summary())
+}
+
+// AddSummary is Add over a packet summary — the form lazy packet views
+// (and any other non-*Packet representation) feed the assembler in.
+// Identical semantics: assembly only ever reads the summary fields.
+func (a *UniflowAssembler) AddSummary(i int, s netpkt.PacketSummary) []*Uniflow {
 	var out []*Uniflow
 	if !a.started {
 		a.started = true
-		a.lastSweep = p.Ts
-	} else if p.Ts.Sub(a.lastSweep) > a.idle {
-		out = a.sweep(p.Ts)
-		a.lastSweep = p.Ts
+		a.lastSweep = s.Ts
+	} else if s.Ts.Sub(a.lastSweep) > a.idle {
+		out = a.sweep(s.Ts)
+		a.lastSweep = s.Ts
 	}
-	ft, ok := p.Tuple()
-	if !ok {
+	if !s.HasTuple {
 		return out
 	}
+	ft := s.Tuple
 	f := a.active[ft]
-	if f != nil && p.Ts.Sub(f.Last) > a.idle {
+	if f != nil && s.Ts.Sub(f.Last) > a.idle {
 		out = append(out, f)
 		f = nil
 	}
 	if f == nil {
-		f = &Uniflow{Tuple: ft, First: p.Ts}
+		f = &Uniflow{Tuple: ft, First: s.Ts}
 		a.active[ft] = f
 	}
 	f.PacketIdx = append(f.PacketIdx, i)
-	f.Last = p.Ts
-	f.Bytes += p.WireLen()
-	f.Payload += len(p.Payload)
+	f.Last = s.Ts
+	f.Bytes += s.Wire
+	f.Payload += s.PayloadLen
 	return out
 }
 
@@ -108,30 +115,36 @@ func NewConnAssembler(opts Options) *ConnAssembler {
 // have been idle past the timeout, finalized (conn state assigned) and
 // ordered by first-packet time then tuple.
 func (a *ConnAssembler) Add(i int, p *netpkt.Packet) []*Connection {
+	return a.AddSummary(i, p.Summary())
+}
+
+// AddSummary is Add over a packet summary (see
+// UniflowAssembler.AddSummary); identical semantics.
+func (a *ConnAssembler) AddSummary(i int, s netpkt.PacketSummary) []*Connection {
 	var out []*Connection
 	if !a.started {
 		a.started = true
-		a.lastSweep = p.Ts
-	} else if p.Ts.Sub(a.lastSweep) > a.idle {
-		out = a.sweep(p.Ts)
-		a.lastSweep = p.Ts
+		a.lastSweep = s.Ts
+	} else if s.Ts.Sub(a.lastSweep) > a.idle {
+		out = a.sweep(s.Ts)
+		a.lastSweep = s.Ts
 	}
-	ft, ok := p.Tuple()
-	if !ok {
+	if !s.HasTuple {
 		return out
 	}
+	ft := s.Tuple
 	key := ft.Canonical()
 	c := a.active[key]
-	if c != nil && p.Ts.Sub(c.Last) > a.idle {
+	if c != nil && s.Ts.Sub(c.Last) > a.idle {
 		c.finalize()
 		out = append(out, c)
 		c = nil
 	}
 	if c == nil {
-		c = &Connection{Tuple: ft, First: p.Ts} // first packet defines originator
+		c = &Connection{Tuple: ft, First: s.Ts} // first packet defines originator
 		a.active[key] = c
 	}
-	c.add(i, p, ft)
+	c.add(i, s, ft)
 	return out
 }
 
@@ -164,40 +177,36 @@ func (a *ConnAssembler) Flush() []*Connection {
 	return out
 }
 
-// add folds one packet into the connection. ft is the packet's oriented
-// five-tuple; direction is derived by comparing it to the originator's.
-func (c *Connection) add(i int, p *netpkt.Packet, ft netpkt.FiveTuple) {
+// add folds one packet summary into the connection. ft is the packet's
+// oriented five-tuple; direction is derived by comparing it to the
+// originator's.
+func (c *Connection) add(i int, s netpkt.PacketSummary, ft netpkt.FiveTuple) {
 	fromOrig := ft == c.Tuple
 	if fromOrig {
 		c.OrigIdx = append(c.OrigIdx, i)
-		c.OrigBytes += p.WireLen()
-		c.OrigPayload += len(p.Payload)
+		c.OrigBytes += s.Wire
+		c.OrigPayload += s.PayloadLen
 	} else {
 		c.RespIdx = append(c.RespIdx, i)
-		c.RespBytes += p.WireLen()
-		c.RespPayload += len(p.Payload)
+		c.RespBytes += s.Wire
+		c.RespPayload += s.PayloadLen
 	}
-	c.Last = p.Ts
-	if t := p.TCP; t != nil {
+	c.Last = s.Ts
+	if s.HasTCP {
+		fl := s.TCPFlags
 		switch {
-		case fromOrig && t.HasFlag(netpkt.FlagSYN) && !t.HasFlag(netpkt.FlagACK):
+		case fromOrig && fl&netpkt.FlagSYN != 0 && fl&netpkt.FlagACK == 0:
 			c.sawSYN = true
-		case !fromOrig && t.HasFlag(netpkt.FlagSYN|netpkt.FlagACK):
+		case !fromOrig && fl&(netpkt.FlagSYN|netpkt.FlagACK) == netpkt.FlagSYN|netpkt.FlagACK:
 			c.sawSYNACK = true
 		}
-		if t.HasFlag(netpkt.FlagFIN) {
-			if fromOrig {
-				c.sawOrigFIN = true
-			} else {
-				c.sawRespFIN = true
-			}
+		if fl&netpkt.FlagFIN != 0 {
+			c.sawOrigFIN = c.sawOrigFIN || fromOrig
+			c.sawRespFIN = c.sawRespFIN || !fromOrig
 		}
-		if t.HasFlag(netpkt.FlagRST) {
-			if fromOrig {
-				c.sawOrigRST = true
-			} else {
-				c.sawRespRST = true
-			}
+		if fl&netpkt.FlagRST != 0 {
+			c.sawOrigRST = c.sawOrigRST || fromOrig
+			c.sawRespRST = c.sawRespRST || !fromOrig
 		}
 	}
 }

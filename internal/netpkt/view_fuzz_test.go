@@ -1,0 +1,61 @@
+package netpkt
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// fuzzViewAgainstDecode is the shared differential property: for any
+// input bytes, the lazy view must never panic and must materialize to
+// exactly the packet the eager decoder builds, at every predecode depth.
+func fuzzViewAgainstDecode(t *testing.T, data []byte, link LinkType) {
+	ts := time.Unix(1700000000, 0)
+	want := Decode(data, link, ts)
+	for _, hint := range allHints() {
+		var v PacketView
+		v.Reset(data, link, ts)
+		v.Predecode(hint)
+		// Exercise the cheap accessors too: they must not disturb the
+		// materialized result.
+		_ = v.WireLen()
+		_ = v.PayloadLen()
+		_, _ = v.Tuple()
+		_ = v.Summary()
+		got := v.Materialize()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("hint %+v: view and eager decode disagree:\nview:  %+v\neager: %+v", hint, got, want)
+		}
+	}
+}
+
+// seedViewCorpus adds every corpus frame plus truncations that land
+// inside each protocol header, so the fuzzer starts at the interesting
+// boundaries instead of random bytes.
+func seedViewCorpus(f *testing.F, link LinkType) {
+	for _, c := range viewCorpus(f) {
+		if c.link != link {
+			continue
+		}
+		f.Add(c.raw)
+		for _, cut := range []int{1, 13, 14, 20, 33, 34, 41, 42, 53, 54} {
+			if cut < len(c.raw) {
+				f.Add(c.raw[:cut])
+			}
+		}
+	}
+}
+
+func FuzzViewEthernet(f *testing.F) {
+	seedViewCorpus(f, LinkEthernet)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzViewAgainstDecode(t, data, LinkEthernet)
+	})
+}
+
+func FuzzViewDot11(f *testing.F) {
+	seedViewCorpus(f, LinkDot11)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzViewAgainstDecode(t, data, LinkDot11)
+	})
+}

@@ -1,0 +1,54 @@
+//go:build unix
+
+package pcap
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether OpenMmap can work on this platform.
+const mmapSupported = true
+
+// OpenMmap maps f read-only and returns a zero-copy Reader over the
+// mapping: record data slices (and PacketViews built on them) alias the
+// mapped region directly, so the read path performs no per-record copy
+// and no per-record allocation. The mapping holds its own reference to
+// the file, so the caller may close f afterwards; the caller MUST call
+// Reader.Close once no record slice or view is referenced anymore —
+// touching one after Close faults.
+//
+// Only regular files at least a global header long can be mapped;
+// anything else (pipes, sockets, empty files) returns an error so
+// callers can fall back to NewReader.
+func OpenMmap(f *os.File) (*Reader, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("pcap: mmap stat: %w", err)
+	}
+	if !fi.Mode().IsRegular() {
+		return nil, fmt.Errorf("pcap: mmap: %s is not a regular file", f.Name())
+	}
+	size := fi.Size()
+	if size < 24 {
+		return nil, fmt.Errorf("pcap: mmap: %s too short for a global header: %w", f.Name(), io.ErrUnexpectedEOF)
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("pcap: mmap: %s exceeds the addressable size", f.Name())
+	}
+	mm, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("pcap: mmap %s: %w", f.Name(), err)
+	}
+	rd := &Reader{mm: mm, pos: 24}
+	if err := rd.parseGlobal(mm[:24]); err != nil {
+		syscall.Munmap(mm)
+		return nil, err
+	}
+	return rd, nil
+}
+
+// munmap releases a mapping created by OpenMmap.
+func munmap(b []byte) error { return syscall.Munmap(b) }

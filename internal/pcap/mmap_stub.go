@@ -1,0 +1,23 @@
+//go:build !unix
+
+package pcap
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported reports whether OpenMmap can work on this platform.
+const mmapSupported = false
+
+// errNoMmap signals that the platform has no mmap support; callers fall
+// back to the buffered NewReader path.
+var errNoMmap = errors.New("pcap: mmap not supported on this platform")
+
+// OpenMmap is unavailable on non-unix platforms; it always errors so
+// callers fall back to NewReader.
+func OpenMmap(f *os.File) (*Reader, error) { return nil, errNoMmap }
+
+// munmap matches the unix build's helper; unreachable here because no
+// Reader ever holds a mapping.
+func munmap(b []byte) error { return nil }

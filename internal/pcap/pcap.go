@@ -29,8 +29,9 @@ import (
 // that packet, so only the owner of the full chunk lifecycle (e.g.
 // dataset.PcapSource.Recycle) should call the Put methods.
 type BufferPool struct {
-	data sync.Pool // *[]byte, capacity varies
-	pkts sync.Pool // *[]*netpkt.Packet
+	data  sync.Pool // *[]byte, capacity varies
+	pkts  sync.Pool // *[]*netpkt.Packet
+	views sync.Pool // *[]netpkt.PacketView
 
 	gets   atomic.Uint64
 	reuses atomic.Uint64
@@ -85,6 +86,26 @@ func (p *BufferPool) PutPkts(s []*netpkt.Packet) {
 	p.pkts.Put(&s)
 }
 
+// getViews returns an empty view slice, reusing a pooled backing array.
+func (p *BufferPool) getViews() []netpkt.PacketView {
+	if s, ok := p.views.Get().(*[]netpkt.PacketView); ok && s != nil {
+		return (*s)[:0]
+	}
+	return nil
+}
+
+// PutViews returns a chunk's view slice to the pool. Views are zeroed so
+// pooled backing arrays do not pin raw buffers or app-layer messages.
+func (p *BufferPool) PutViews(s []netpkt.PacketView) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:cap(s)]
+	clear(s)
+	s = s[:0]
+	p.views.Put(&s)
+}
+
 // Stats reports how many data buffers were requested and how many of
 // those requests were served from the pool.
 func (p *BufferPool) Stats() (gets, reuses uint64) {
@@ -104,7 +125,10 @@ const DefaultSnapLen = 65535
 // global header.
 var ErrBadMagic = errors.New("pcap: bad magic number")
 
-// Reader decodes packets from a pcap stream.
+// Reader decodes packets from a pcap stream. It has two modes: buffered
+// (NewReader, record bytes copied off an io.Reader) and zero-copy
+// (OpenMmap, record bytes are subslices of the memory-mapped file — see
+// OpenMmap for the lifetime rules).
 type Reader struct {
 	r       *bufio.Reader
 	order   binary.ByteOrder
@@ -113,6 +137,11 @@ type Reader struct {
 	snapLen uint32
 	hdr     [16]byte
 	pool    *BufferPool
+
+	// mm/pos drive the zero-copy mode: the mapped file and the read
+	// offset into it. mm is nil in buffered mode.
+	mm  []byte
+	pos int
 }
 
 // SetBufferPool makes Next draw record data buffers (and ReadChunk its
@@ -129,23 +158,59 @@ func NewReader(r io.Reader) (*Reader, error) {
 		return nil, fmt.Errorf("pcap: reading global header: %w", err)
 	}
 	rd := &Reader{r: br}
+	if err := rd.parseGlobal(gh[:]); err != nil {
+		return nil, err
+	}
+	return rd, nil
+}
+
+// parseGlobal decodes the 24-byte global header into the reader.
+func (r *Reader) parseGlobal(gh []byte) error {
 	magicLE := binary.LittleEndian.Uint32(gh[0:4])
 	magicBE := binary.BigEndian.Uint32(gh[0:4])
 	switch {
 	case magicLE == magicUsec:
-		rd.order = binary.LittleEndian
+		r.order = binary.LittleEndian
 	case magicLE == magicNsec:
-		rd.order, rd.nanos = binary.LittleEndian, true
+		r.order, r.nanos = binary.LittleEndian, true
 	case magicBE == magicUsec:
-		rd.order = binary.BigEndian
+		r.order = binary.BigEndian
 	case magicBE == magicNsec:
-		rd.order, rd.nanos = binary.BigEndian, true
+		r.order, r.nanos = binary.BigEndian, true
 	default:
-		return nil, ErrBadMagic
+		return ErrBadMagic
 	}
-	rd.snapLen = rd.order.Uint32(gh[16:20])
-	rd.link = netpkt.LinkType(rd.order.Uint32(gh[20:24]))
-	return rd, nil
+	r.snapLen = r.order.Uint32(gh[16:20])
+	r.link = netpkt.LinkType(r.order.Uint32(gh[20:24]))
+	return nil
+}
+
+// ZeroCopy reports whether the reader is in mmap mode, where record data
+// slices alias the mapped region (and must not be pooled or retained past
+// Close).
+func (r *Reader) ZeroCopy() bool { return r.mm != nil }
+
+// Rewind repositions a zero-copy reader at the first record and reports
+// whether it could (false in buffered mode, where the caller must seek
+// the underlying stream and build a new Reader instead).
+func (r *Reader) Rewind() bool {
+	if r.mm == nil {
+		return false
+	}
+	r.pos = 24
+	return true
+}
+
+// Close releases the mapped region of a zero-copy reader; every record
+// slice and view it handed out becomes invalid. It is a no-op (and nil
+// error) in buffered mode, and idempotent in both.
+func (r *Reader) Close() error {
+	if r.mm == nil {
+		return nil
+	}
+	mm := r.mm
+	r.mm = nil
+	return munmap(mm)
 }
 
 // LinkType reports the capture's link type.
@@ -155,29 +220,58 @@ func (r *Reader) LinkType() netpkt.LinkType { return r.link }
 func (r *Reader) SnapLen() uint32 { return r.snapLen }
 
 // Next returns the next raw record. It returns io.EOF cleanly at end of
-// stream. The returned data slice is freshly allocated unless a
-// BufferPool is attached, in which case it may reuse a recycled buffer.
+// stream. In buffered mode the data slice is freshly allocated unless a
+// BufferPool is attached (then it may reuse a recycled buffer); in
+// zero-copy mode it is a subslice of the mapped file, valid until Close.
 func (r *Reader) Next() (ts time.Time, data []byte, origLen int, err error) {
-	if _, err = io.ReadFull(r.r, r.hdr[:]); err != nil {
-		if errors.Is(err, io.ErrUnexpectedEOF) {
-			err = io.EOF
+	var hdr []byte
+	if r.mm != nil {
+		if r.pos+16 > len(r.mm) {
+			// At (or partially into) end of map: a dangling partial record
+			// header ends the stream cleanly, like buffered mode.
+			return time.Time{}, nil, 0, io.EOF
 		}
-		return time.Time{}, nil, 0, err
-	}
-	sec := r.order.Uint32(r.hdr[0:4])
-	sub := r.order.Uint32(r.hdr[4:8])
-	incl := r.order.Uint32(r.hdr[8:12])
-	orig := r.order.Uint32(r.hdr[12:16])
-	if incl > r.snapLen && r.snapLen > 0 && incl > DefaultSnapLen {
-		return time.Time{}, nil, 0, fmt.Errorf("pcap: record length %d exceeds snaplen", incl)
-	}
-	if r.pool != nil {
-		data = r.pool.getData(int(incl))
+		hdr = r.mm[r.pos : r.pos+16]
 	} else {
-		data = make([]byte, int(incl))
+		if _, err = io.ReadFull(r.r, r.hdr[:]); err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				err = io.EOF
+			}
+			return time.Time{}, nil, 0, err
+		}
+		hdr = r.hdr[:]
 	}
-	if _, err = io.ReadFull(r.r, data); err != nil {
-		return time.Time{}, nil, 0, fmt.Errorf("pcap: truncated record: %w", err)
+	sec := r.order.Uint32(hdr[0:4])
+	sub := r.order.Uint32(hdr[4:8])
+	incl := r.order.Uint32(hdr[8:12])
+	orig := r.order.Uint32(hdr[12:16])
+	// A record cannot legitimately exceed the capture's snapshot length
+	// (or the format ceiling when the header says 0): such a length is a
+	// corrupt or malicious record header, and trusting it would mis-frame
+	// every later record.
+	limit := r.snapLen
+	if limit == 0 {
+		limit = DefaultSnapLen
+	}
+	if incl > limit {
+		return time.Time{}, nil, 0, fmt.Errorf("pcap: record length %d exceeds snaplen %d", incl, limit)
+	}
+	if r.mm != nil {
+		start := r.pos + 16
+		if start+int(incl) > len(r.mm) {
+			return time.Time{}, nil, 0, fmt.Errorf("pcap: truncated record: %w", io.ErrUnexpectedEOF)
+		}
+		data = r.mm[start : start+int(incl) : start+int(incl)]
+		r.pos = start + int(incl)
+	} else {
+		if r.pool != nil {
+			data = r.pool.getData(int(incl))
+		} else {
+			data = make([]byte, int(incl))
+		}
+		if _, err = io.ReadFull(r.r, data); err != nil {
+			return time.Time{}, nil, 0, fmt.Errorf("pcap: truncated record: %w", err)
+		}
 	}
 	nsec := int64(sub)
 	if !r.nanos {
@@ -237,6 +331,47 @@ func (r *Reader) ReadChunk(maxRows, maxBytes int) ([]*netpkt.Packet, error) {
 		}
 		out = append(out, p)
 		bytes += p.WireLen()
+		if maxBytes > 0 && bytes >= maxBytes {
+			break
+		}
+	}
+	return out, nil
+}
+
+// ReadViews is the lazy counterpart of ReadChunk: it reads up to maxRows
+// records (or maxBytes wire bytes; each bound ignored when <= 0) into
+// PacketViews instead of eagerly decoded Packets, applying hint on each
+// so the requested decode depth happens here, on the reading goroutine.
+// In zero-copy mode the views alias the mapped file; in buffered mode
+// they own pooled (or fresh) record buffers. Like ReadChunk it always
+// makes progress and returns (nil, io.EOF) at end of stream. The view
+// slice comes from the attached BufferPool when present — hand it back
+// with PutViews (plus PutData per record in buffered mode) when done.
+func (r *Reader) ReadViews(maxRows, maxBytes int, hint netpkt.DecodeHint) ([]netpkt.PacketView, error) {
+	var out []netpkt.PacketView
+	if r.pool != nil {
+		out = r.pool.getViews()
+	}
+	bytes := 0
+	for maxRows <= 0 || len(out) < maxRows {
+		ts, data, _, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			if len(out) == 0 {
+				if r.pool != nil {
+					r.pool.PutViews(out)
+				}
+				return nil, io.EOF
+			}
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, netpkt.PacketView{})
+		v := &out[len(out)-1]
+		v.Reset(data, r.link, ts)
+		v.Predecode(hint)
+		bytes += len(data)
 		if maxBytes > 0 && bytes >= maxBytes {
 			break
 		}
