@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test bench bench-paper race vet docs-lint fuzz-smoke check daemon-smoke
+.PHONY: build test bench bench-paper race vet docs-lint fuzz-smoke check daemon-smoke drift-smoke
 
 build:
 	$(GO) build ./...
@@ -56,7 +56,11 @@ vet:
 # worker pool, the mlkit/linalg row-parallel kernels, and the resident
 # daemon: pipeline lifecycle, hot swap under live ingest, live sources,
 # the HTTP control surface, and the lumend binary end to end) under the
-# race detector.
+# race detector. The online-learning paths ride along: the core suite's
+# prequential equivalence tests sweep test-then-train streams across
+# chunk sizes and execution shapes, the daemon suite exercises the
+# drift-triggered background retrain racing live scoring, and the
+# benchsuite suite runs the three-arm drifting prequential benchmark.
 race:
 	$(GO) test -race ./internal/core/... ./internal/dataset/... ./internal/pcap/... ./internal/netpkt/... ./internal/features/... ./internal/flow/... ./internal/benchsuite/... ./internal/obs/... ./internal/mlkit/... ./internal/daemon/... ./cmd/lumend/...
 
@@ -82,6 +86,32 @@ daemon-smoke:
 	grep -q ' stopped: ' $$tmp/out.txt \
 		|| { echo "daemon-smoke: no clean shutdown"; cat $$tmp/out.txt; rm -rf $$tmp; exit 1; }; \
 	echo "daemon-smoke: OK ($$(wc -l < $$tmp/alerts.jsonl) alerts, conn-log $$(wc -l < $$tmp/conn.log) lines)"; \
+	rm -rf $$tmp
+
+# drift-smoke is the end-to-end gate for the online-learning loop: it
+# trains the drift-retrain example pipeline on Mirai traffic (P1), then
+# replays a P1-then-P4 drifting stream — mid-replay the traffic turns
+# into ARP MitM, a distribution the model has never seen — with
+# drift-triggered retraining enabled. The two-sided Page-Hinkley monitor
+# fires on the score collapse, the daemon refits on fresh post-drift
+# rows in the background, and the candidate must pass the shadow gate
+# into an auto-promoted generation before drain.
+drift-smoke:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/lumend -pipeline examples/drift-retrain/pipeline.json \
+		-train P1 -train-scale 0.5 -replay-dataset P1,P4 -replay-scale 1.0 \
+		-chunk-rows 64 -replay-delay 15ms -listen "" \
+		-retrain -retrain-fresh -retrain-min-rows 128 -retrain-cooldown 4 \
+		-shadow-chunks 2 -max-disagree 1 \
+		-alerts $$tmp/alerts.jsonl -metrics-out $$tmp/metrics.prom >$$tmp/out.txt 2>&1 \
+		|| { echo "drift-smoke: lumend failed"; cat $$tmp/out.txt; rm -rf $$tmp; exit 1; }; \
+	grep -q ' stopped: ' $$tmp/out.txt \
+		|| { echo "drift-smoke: no clean shutdown"; cat $$tmp/out.txt; rm -rf $$tmp; exit 1; }; \
+	grep -q 'swap promoted by auto' $$tmp/out.txt \
+		|| { echo "drift-smoke: retrained model was not promoted"; cat $$tmp/out.txt; rm -rf $$tmp; exit 1; }; \
+	grep -q 'lumen_retrain_total' $$tmp/metrics.prom \
+		|| { echo "drift-smoke: no retrain counted"; cat $$tmp/out.txt; rm -rf $$tmp; exit 1; }; \
+	echo "drift-smoke: OK ($$(grep -c . $$tmp/alerts.jsonl) alerts, $$(grep 'lumen_drift_events_total{' $$tmp/metrics.prom | head -1))"; \
 	rm -rf $$tmp
 
 # fuzz-smoke gives each differential decoder fuzz target (lazy

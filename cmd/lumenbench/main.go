@@ -10,6 +10,7 @@
 //	lumenbench -out results/           # also write results.json + CSVs
 //	lumenbench -trace-out trace.json   # Chrome trace of the run (Perfetto)
 //	lumenbench -metrics-out m.prom     # Prometheus metrics snapshot
+//	lumenbench -prequential drift.json # drifting-traffic prequential benchmark
 //
 // See OBSERVABILITY.md for the span hierarchy and metric names.
 package main
@@ -67,8 +68,39 @@ func main() {
 		traceJSONL  = flag.String("trace-jsonl", "", "write the trace as flat per-span JSONL records to this file")
 		metricsOut  = flag.String("metrics-out", "", "write Prometheus text-format metrics to this file when the run finishes")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus metrics at http://ADDR/metrics while the suite runs (e.g. localhost:9090)")
+		preqOut     = flag.String("prequential", "", "run the drifting-traffic prequential benchmark (static vs online vs drift-triggered retrain) and write the report JSON to this file instead of the figure suite")
+		preqPhases  = flag.String("preq-phases", "", "comma-separated phase dataset IDs for -prequential (default P1,P4)")
+		preqModel   = flag.String("preq-model", "", "model_type for -prequential; must partial-fit natively (default mlp)")
+		preqWindow  = flag.Int("preq-window", 0, "F1 window and chunk size in rows for -prequential (default 64)")
 	)
 	flag.Parse()
+
+	if *preqOut != "" {
+		// -scale defaults differ between modes: the figure suite trims to
+		// 0.6, the drift scenario needs the full synthetic size unless the
+		// user explicitly asked otherwise.
+		pc := benchsuite.PrequentialConfig{
+			Seed:       *seed,
+			Model:      *preqModel,
+			WindowRows: *preqWindow,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "scale" {
+				pc.Scale = *scale
+			}
+		})
+		if ids := splitIDs(*preqPhases); len(ids) == 2 {
+			pc.PhaseA, pc.PhaseB = ids[0], ids[1]
+		} else if len(ids) != 0 {
+			fmt.Fprintln(os.Stderr, "lumenbench: -preq-phases wants exactly two dataset IDs")
+			os.Exit(1)
+		}
+		if err := runPrequential(pc, *preqOut); err != nil {
+			fmt.Fprintln(os.Stderr, "lumenbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := benchsuite.Config{
 		Scale:         *scale,
@@ -354,4 +386,40 @@ func run(cfg benchsuite.Config, opts options) error {
 type namedCSV struct {
 	name string
 	data string
+}
+
+// runPrequential executes the drifting-traffic prequential benchmark,
+// prints the per-arm summary, and writes the full report (curves
+// included) as JSON.
+func runPrequential(pc benchsuite.PrequentialConfig, out string) error {
+	rep, err := benchsuite.RunPrequential(pc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("prequential drift benchmark: %s -> %s, model %s, %d stream rows (drift at row %d), window %d\n",
+		rep.PhaseA, rep.PhaseB, rep.Model, rep.StreamRows, rep.DriftRow, rep.WindowRows)
+	t := &report.Table{Header: []string{"arm", "overall F1", "pre-drift F1", "post-drift F1", "drift events", "retrains", "generation", "swap"}}
+	for _, a := range rep.Arms {
+		swap := "-"
+		if a.SwapOutcome != "" {
+			swap = fmt.Sprintf("%s (disagree %.3f)", a.SwapOutcome, a.ShadowDisagree)
+		}
+		gen := "-"
+		if a.Generation > 0 {
+			gen = fmt.Sprintf("%d", a.Generation)
+		}
+		t.Add(a.Name, fmt.Sprintf("%.3f", a.OverallF1), fmt.Sprintf("%.3f", a.PreDriftF1),
+			fmt.Sprintf("%.3f", a.PostDriftF1), fmt.Sprintf("%d", a.DriftEvents),
+			fmt.Sprintf("%d", a.Retrains), gen, swap)
+	}
+	fmt.Print(t)
+	data, err := json.MarshalIndent(rep, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote prequential report to", out)
+	return nil
 }

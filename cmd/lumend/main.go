@@ -12,6 +12,7 @@
 //	lumend -pipeline p.json -model m.json -listen-feed :9999         # framed live feed
 //	lumend -pipeline p.json -model m.json -watch /var/spool/pcaps    # rotated-capture directory
 //	lumend ... -swap-model candidate.json -swap-after-chunks 8       # scripted hot swap
+//	lumend ... -retrain -retrain-fresh -replay-delay 10ms            # drift-triggered retrain loop
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: sources stop
 // producing, ingested packets are scored to completion, conn-logs and
@@ -63,6 +64,7 @@ type options struct {
 	replayDataset string
 	replayScale   float64
 	speed         float64
+	replayDelay   time.Duration
 	listenFeed    string
 	watch         string
 	watchGlob     string
@@ -90,6 +92,12 @@ type options struct {
 	maxDisagree  float64
 	swapAuto     bool
 
+	retrain          bool
+	retrainReservoir int
+	retrainMinRows   int
+	retrainCooldown  int
+	retrainFresh     bool
+
 	traceOut   string
 	metricsOut string
 }
@@ -103,9 +111,10 @@ func parseFlags(args []string, onErr flag.ErrorHandling) options {
 	fs.IntVar(&o.pipes, "pipes", 1, "concurrent pipeline replicas (replay ingest only)")
 	fs.Int64Var(&o.seed, "seed", 7, "random seed")
 	fs.StringVar(&o.replay, "replay", "", "pcap file to replay")
-	fs.StringVar(&o.replayDataset, "replay-dataset", "", "registry dataset ID to replay (F0-F9, P0-P4)")
+	fs.StringVar(&o.replayDataset, "replay-dataset", "", "registry dataset ID to replay (F0-F9, P0-P4); a comma-separated list replays the datasets back to back on a continued timeline (a drifting stream)")
 	fs.Float64Var(&o.replayScale, "replay-scale", 1.0, "dataset scale for -replay-dataset")
 	fs.Float64Var(&o.speed, "speed", 0, "replay pacing as a multiple of capture speed (0 = unpaced)")
+	fs.DurationVar(&o.replayDelay, "replay-delay", 0, "fixed per-chunk replay delay, ignoring capture timestamps (0 = unpaced; alternative to -speed)")
 	fs.StringVar(&o.listenFeed, "listen-feed", "", "listen for framed packets on host:port or unix:/path")
 	fs.StringVar(&o.watch, "watch", "", "directory to watch for rotated pcap captures")
 	fs.StringVar(&o.watchGlob, "watch-glob", "*.pcap", "filename glob for -watch")
@@ -127,6 +136,11 @@ func parseFlags(args []string, onErr flag.ErrorHandling) options {
 	fs.IntVar(&o.shadowChunks, "shadow-chunks", 8, "chunks to shadow-score before the swap decision")
 	fs.Float64Var(&o.maxDisagree, "max-disagree", 0, "max disagreement fraction for an automatic promote")
 	fs.BoolVar(&o.swapAuto, "swap-auto", true, "decide the swap automatically after the shadow window")
+	fs.BoolVar(&o.retrain, "retrain", false, "retrain in the background when the pipeline's drift_detect op fires and hot-swap the result through the shadow gate")
+	fs.IntVar(&o.retrainReservoir, "retrain-reservoir", 4096, "labelled-row reservoir capacity for -retrain")
+	fs.IntVar(&o.retrainMinRows, "retrain-min-rows", 256, "smallest reservoir fill that permits a -retrain refit")
+	fs.IntVar(&o.retrainCooldown, "retrain-cooldown", 32, "minimum chunks between -retrain triggers")
+	fs.BoolVar(&o.retrainFresh, "retrain-fresh", false, "flush the reservoir on each drift trigger so the refit sees only post-drift rows")
 	fs.StringVar(&o.traceOut, "trace-out", "", "write a Chrome trace_event JSON to this file on exit")
 	fs.StringVar(&o.metricsOut, "metrics-out", "", "write Prometheus text-format metrics to this file on exit")
 	fs.Parse(args)
@@ -155,6 +169,9 @@ func (o *options) validate() error {
 	}
 	if o.pipes > 1 && o.replay == "" && o.replayDataset == "" {
 		return errors.New("-pipes > 1 requires replay ingest (-replay or -replay-dataset)")
+	}
+	if o.speed > 0 && o.replayDelay > 0 {
+		return errors.New("-speed and -replay-delay are mutually exclusive")
 	}
 	if _, err := linkType(o.link); err != nil {
 		return err
@@ -218,11 +235,18 @@ func run(o options, out io.Writer, sigs <-chan os.Signal) error {
 			return err
 		}
 	case o.replayDataset != "":
-		spec, ok := dataset.Get(o.replayDataset)
-		if !ok {
-			return fmt.Errorf("unknown dataset %q", o.replayDataset)
+		var parts []*dataset.Labeled
+		for _, id := range strings.Split(o.replayDataset, ",") {
+			id = strings.TrimSpace(id)
+			spec, ok := dataset.Get(id)
+			if !ok {
+				return fmt.Errorf("unknown dataset %q", id)
+			}
+			parts = append(parts, spec.Generate(o.replayScale))
 		}
-		replayDS = spec.Generate(o.replayScale)
+		if replayDS, err = dataset.Concat(parts...); err != nil {
+			return err
+		}
 	}
 
 	stream := core.StreamConfig{
@@ -270,6 +294,21 @@ func run(o options, out io.Writer, sigs <-chan os.Signal) error {
 			Source:        src,
 			Stream:        stream,
 			AnomaliesOnly: o.anomaliesOnly,
+		}
+		if o.retrain {
+			cfg.Retrain = daemon.RetrainConfig{
+				Enabled:        true,
+				ReservoirCap:   o.retrainReservoir,
+				MinRows:        o.retrainMinRows,
+				CooldownChunks: o.retrainCooldown,
+				Seed:           o.seed,
+				FreshData:      o.retrainFresh,
+				Swap: daemon.SwapOptions{
+					ShadowChunks: o.shadowChunks,
+					AutoDecide:   o.swapAuto,
+					MaxDisagree:  o.maxDisagree,
+				},
+			}
 		}
 		if w, c, err := openSink(o.alerts, i, o.pipes, stdout); err != nil {
 			return err
@@ -372,6 +411,9 @@ func (o *options) ingestKind() string {
 func (o *options) buildSource(replayDS *dataset.Labeled, i int) (dataset.Source, error) {
 	switch {
 	case replayDS != nil:
+		if o.replayDelay > 0 {
+			return daemon.NewPacedSource(dataset.NewSliceSource(replayDS), o.replayDelay), nil
+		}
 		return daemon.NewReplaySource(dataset.NewSliceSource(replayDS), o.speed), nil
 	case o.listenFeed != "":
 		network, addr := "tcp", o.listenFeed

@@ -1,0 +1,49 @@
+package benchsuite
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPrequentialDriftStory pins the headline behavior of the drifting
+// benchmark: the static arm's windowed F1 decays once the traffic
+// distribution shifts, the prequential online arm holds, the daemon
+// retrain arm recovers through a promoted hot swap, and no arm drops a
+// verdict.
+func TestPrequentialDriftStory(t *testing.T) {
+	rep, err := RunPrequential(PrequentialConfig{
+		Seed: 7, RetrainPacing: 3 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arms := map[string]PrequentialArm{}
+	for _, a := range rep.Arms {
+		arms[a.Name] = a
+		t.Logf("%-8s overall %.3f pre %.3f post %.3f drift %d verdicts %d gen %d swap %q disagree %.3f",
+			a.Name, a.OverallF1, a.PreDriftF1, a.PostDriftF1, a.DriftEvents, a.Verdicts,
+			a.Generation, a.SwapOutcome, a.ShadowDisagree)
+		if a.Verdicts != rep.StreamRows {
+			t.Errorf("%s arm scored %d rows, want %d (dropped chunks)", a.Name, a.Verdicts, rep.StreamRows)
+		}
+	}
+	st, on, rt := arms["static"], arms["online"], arms["retrain"]
+	if st.PostDriftF1 >= st.PreDriftF1-0.2 {
+		t.Errorf("static arm did not decay: pre %.3f post %.3f", st.PreDriftF1, st.PostDriftF1)
+	}
+	if on.PostDriftF1 <= st.PostDriftF1+0.2 {
+		t.Errorf("online arm did not hold: online post %.3f vs static post %.3f", on.PostDriftF1, st.PostDriftF1)
+	}
+	if st.DriftEvents == 0 {
+		t.Error("drift monitor never fired on the shifted stream")
+	}
+	if rt.Retrains == 0 {
+		t.Error("retrain arm never retrained")
+	}
+	if rt.Generation < 2 || rt.SwapOutcome != "promoted" {
+		t.Errorf("retrain arm did not promote: generation %d, outcome %q", rt.Generation, rt.SwapOutcome)
+	}
+	if rt.PostDriftF1 <= st.PostDriftF1+0.1 {
+		t.Errorf("retrain arm did not recover: retrain post %.3f vs static post %.3f", rt.PostDriftF1, st.PostDriftF1)
+	}
+}

@@ -99,6 +99,9 @@ type opCtx struct {
 	// chunk's global base index and per-op fold state across chunks.
 	// Nil on batch runs, so every accessor below is nil-safe.
 	stream *streamCtx
+	// drift collects DriftEvents raised by drift_detect ops during this
+	// chunk (nil on batch runs and outside the streamed op loop).
+	drift *[]DriftEvent
 }
 
 func (c *opCtx) setState(v any) { c.state[c.outName] = v }
@@ -112,6 +115,25 @@ func (c *opCtx) getState() any  { return c.state[c.outName] }
 type streamCtx struct {
 	base  int
 	carry map[string]any
+	// online mirrors StreamConfig.Online for the ops: train partial-fits
+	// in ModeTrain and evaluates prequentially in ModeTest.
+	online bool
+	// lastResult carries the train op's per-chunk EvalResult to a
+	// downstream drift_detect op within the same chunk.
+	lastResult *EvalResult
+}
+
+// DriftEvent is one detection raised by a drift_detect op: the global row
+// position where the Page-Hinkley statistic crossed its threshold, plus
+// the statistic and running score mean at the moment of detection. Events
+// surface per chunk through StreamHooks.ChunkUpdate.Drift.
+type DriftEvent struct {
+	Output string // drift_detect op's output name
+	Seq    int    // chunk sequence number
+	Base   int    // global index of the chunk's first row
+	Row    int    // row offset within the chunk
+	Stat   float64
+	Mean   float64
 }
 
 // streamBase returns the global index of the current chunk's first
@@ -138,6 +160,12 @@ func (c *opCtx) setCarry(v any) {
 		return
 	}
 	c.stream.carry[c.outName] = v
+}
+
+// online reports whether this execution is an online (in-stream learning)
+// RunStream pass; always false on batch runs.
+func (c *opCtx) online() bool {
+	return c != nil && c.stream != nil && c.stream.online
 }
 
 // Engine compiles and executes one pipeline. Train must run before Test;
@@ -356,8 +384,16 @@ func (e *Engine) runOp(def *opDef, ctx *opCtx, op OpSpec, in []Value, st *OpStat
 }
 
 // finishOp closes the op's span and records its metrics. Both sinks are
-// individually optional; with neither attached this does nothing.
+// individually optional; with neither attached this does nothing. The two
+// halves are split out so the sharded sink can close per-lane spans while
+// emitting exactly one metrics sample per logical op execution.
 func (e *Engine) finishOp(sp *obs.Span, st *OpStats, err error) {
+	finishOpSpan(sp, st, err)
+	e.opMetrics(st)
+}
+
+// finishOpSpan closes the op's tracing span (nil-safe).
+func finishOpSpan(sp *obs.Span, st *OpStats, err error) {
 	if sp != nil {
 		sp.Set("rows_out", st.OutRows)
 		sp.Set("cached", st.Cached)
@@ -366,18 +402,24 @@ func (e *Engine) finishOp(sp *obs.Span, st *OpStats, err error) {
 		}
 		sp.End()
 	}
-	if e.Metrics != nil {
-		e.Metrics.Counter("lumen_ops_total",
-			"Pipeline operations executed (including cache-served ones).",
+}
+
+// opMetrics records one op execution in the engine's metrics registry
+// (no-op when metrics are off).
+func (e *Engine) opMetrics(st *OpStats) {
+	if e.Metrics == nil {
+		return
+	}
+	e.Metrics.Counter("lumen_ops_total",
+		"Pipeline operations executed (including cache-served ones).",
+		"op", st.Func).Inc()
+	e.Metrics.Histogram("lumen_op_wall_seconds",
+		"Wall time spent per operation (lookup/wait time for cache-served ops).",
+		nil, "op", st.Func).Observe(st.Wall.Seconds())
+	if st.Cached {
+		e.Metrics.Counter("lumen_op_cache_served_total",
+			"Operations whose result came from the shared cache instead of computation.",
 			"op", st.Func).Inc()
-		e.Metrics.Histogram("lumen_op_wall_seconds",
-			"Wall time spent per operation (lookup/wait time for cache-served ops).",
-			nil, "op", st.Func).Observe(st.Wall.Seconds())
-		if st.Cached {
-			e.Metrics.Counter("lumen_op_cache_served_total",
-				"Operations whose result came from the shared cache instead of computation.",
-				"op", st.Func).Inc()
-		}
 	}
 }
 
@@ -472,6 +514,25 @@ func (e *Engine) TrainedModel() (mlkit.Classifier, bool) {
 		}
 	}
 	return nil, false
+}
+
+// NewTrainableModel builds a fresh, unfitted classifier from the
+// pipeline's model spec (the same construction Train performs). A
+// resident daemon uses it to fit a replacement model on reservoir data in
+// the background before hot-swapping it in via ReplaceModel/SwapHandle.
+func (e *Engine) NewTrainableModel() (mlkit.Classifier, error) {
+	for _, op := range e.P.Ops {
+		if op.Func != "model" {
+			continue
+		}
+		p := params(op.Params)
+		mt := p.str("model_type", p.str("type", ""))
+		if mt == "" {
+			return nil, fmt.Errorf("core: pipeline %q model op has no model_type", e.P.Name)
+		}
+		return buildClassifier(ModelSpec{Type: mt, Params: map[string]any(p)}, e.Seed)
+	}
+	return nil, fmt.Errorf("core: pipeline %q has no model op", e.P.Name)
 }
 
 // ReplaceModel swaps the fitted classifier behind the pipeline's train op

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+
+	"lumen/internal/mlkit"
+)
+
+func init() {
+	register("drift_detect",
+		"monitor the trained model's per-chunk score stream with a Page-Hinkley test and raise drift events on distribution shift (streaming test runs; a pass-through otherwise)",
+		opSig{in: []Kind{KindTrained}, out: KindTrained}, opDriftDetect)
+}
+
+// opDriftDetect folds the train op's per-chunk scores (predictions when
+// the model exposes no scores) into a Page-Hinkley estimator carried
+// across chunks. Detections append DriftEvents to the running chunk job,
+// which surface through StreamHooks.ChunkUpdate.Drift and
+// Engine.LastStream.DriftEvents — the trigger a resident daemon uses to
+// schedule a background retrain. On batch runs and in train mode the op
+// passes the trained value through unchanged, so pipelines carrying a
+// drift_detect stage remain valid everywhere.
+//
+// Params: delta (deviation tolerance, default 0.005), lambda (detection
+// threshold, default 50), min_samples (warm-up, default 30), two_sided
+// (also detect mean decreases — a model gone blind — default false).
+func opDriftDetect(ctx *opCtx, in []Value, p params) (Value, error) {
+	tr, ok := in[0].(Trained)
+	if !ok {
+		return nil, fmt.Errorf("drift_detect: input must be a trained model, got %v", in[0].Kind())
+	}
+	if ctx.stream == nil || ctx.mode != ModeTest {
+		return tr, nil
+	}
+	res := ctx.stream.lastResult
+	ctx.stream.lastResult = nil
+	if res == nil {
+		return tr, nil
+	}
+	var ph *mlkit.PageHinkley
+	if c, ok := ctx.carry(); ok {
+		ph = c.(*mlkit.PageHinkley)
+	} else {
+		ph = &mlkit.PageHinkley{
+			Delta:      p.f64("delta", 0),
+			Lambda:     p.f64("lambda", 0),
+			MinSamples: p.i("min_samples", 0),
+			TwoSided:   p.b("two_sided", false),
+		}
+		ctx.setCarry(ph)
+	}
+	useScores := len(res.Scores) == len(res.Pred)
+	for i := range res.Pred {
+		x := float64(res.Pred[i])
+		if useScores {
+			x = res.Scores[i]
+		}
+		if ph.Add(x) && ctx.drift != nil {
+			stat, mean := ph.LastDetection()
+			*ctx.drift = append(*ctx.drift, DriftEvent{
+				Output: ctx.outName,
+				Base:   ctx.streamBase(),
+				Row:    i,
+				Stat:   stat,
+				Mean:   mean,
+			})
+		}
+	}
+	return tr, nil
+}

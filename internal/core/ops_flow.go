@@ -144,19 +144,24 @@ func opFlowFeatures(_ *opCtx, in []Value, p params) (Value, error) {
 
 // flowLabel derives a flow's ground truth: malicious if any member packet
 // is (datasets label whole flows, so members agree by construction), with
-// the attack name taken from the first malicious packet.
+// the attack name taken from the first malicious packet. Unlabeled
+// sources (pcap captures, view-path runs) yield benign.
 func flowLabel(ds *dataset.Labeled, idx []int) (int, string) {
 	for _, pi := range idx {
-		if ds.Labels[pi] != 0 {
-			return 1, ds.Attacks[pi]
+		if pi < len(ds.Labels) && ds.Labels[pi] != 0 {
+			if pi < len(ds.Attacks) {
+				return 1, ds.Attacks[pi]
+			}
+			return 1, ""
 		}
 	}
 	return 0, ""
 }
 
-// computeFlowVector builds every catalogue feature for flow i.
+// computeFlowVector builds every catalogue feature for flow i. Per-packet
+// fields are read through Flows.summary so the same code serves decoded
+// packets and the view path's retained summaries.
 func computeFlowVector(fl *Flows, i int, idx []int, firstN int) map[string]float64 {
-	ds := fl.DS
 	out := make(map[string]float64, len(flowFeatureNames))
 	if len(idx) == 0 {
 		return out
@@ -168,19 +173,21 @@ func computeFlowVector(fl *Flows, i int, idx []int, firstN int) map[string]float
 	var flags [6]float64
 	var flagChanges int
 	var prevFlags uint8
-	first := ds.Packets[idx[0]]
+	first := fl.summary(idx[0])
+	last := first
 	for k, pi := range idx {
-		pkt := ds.Packets[pi]
-		t := float64(pkt.Ts.UnixNano()) / 1e9
-		l := float64(pkt.WireLen())
+		s := fl.summary(pi)
+		last = s
+		t := float64(s.Ts.UnixNano()) / 1e9
+		l := float64(s.Wire)
 		lens = append(lens, l)
 		if k > 0 {
 			iats = append(iats, t-prevT)
 		}
 		prevT = t
-		payload += float64(len(pkt.Payload))
-		if pkt.TCP != nil {
-			fs := pkt.TCP.Flags
+		payload += float64(s.PayloadLen)
+		if s.HasTCP {
+			fs := s.TCPFlags
 			for b := 0; b < 6; b++ {
 				if fs&(1<<uint(b)) != 0 {
 					flags[b]++
@@ -192,7 +199,7 @@ func computeFlowVector(fl *Flows, i int, idx []int, firstN int) map[string]float
 			prevFlags = fs
 		}
 	}
-	dur := float64(ds.Packets[idx[len(idx)-1]].Ts.Sub(first.Ts)) / float64(time.Second)
+	dur := float64(last.Ts.Sub(first.Ts)) / float64(time.Second)
 	out["duration"] = dur
 	out["pkt_count"] = float64(len(idx))
 	var bytes float64

@@ -522,21 +522,60 @@ type scalerState struct {
 	cols   []string
 }
 
+// newScaler builds the scaler selected by the op's "kind" param.
+func newScaler(p params) (mlkit.Scaler, error) {
+	switch kind := p.str("kind", "zscore"); kind {
+	case "zscore":
+		return &mlkit.StandardScaler{}, nil
+	case "minmax":
+		return &mlkit.MinMaxScaler{}, nil
+	default:
+		return nil, fmt.Errorf("normalize: unknown kind %q", kind)
+	}
+}
+
 func opNormalize(ctx *opCtx, in []Value, p params) (Value, error) {
 	f, err := asFrame(in[0])
 	if err != nil {
 		return nil, err
 	}
 	var st *scalerState
-	if ctx.mode == ModeTrain {
-		var sc mlkit.Scaler
-		switch kind := p.str("kind", "zscore"); kind {
-		case "zscore":
-			sc = &mlkit.StandardScaler{}
-		case "minmax":
-			sc = &mlkit.MinMaxScaler{}
-		default:
-			return nil, fmt.Errorf("normalize: unknown kind %q", kind)
+	switch {
+	case ctx.mode == ModeTrain && ctx.online():
+		// Streaming fit: fold the chunk into the scaler's online moments
+		// (Welford / running min-max), then scale it with the statistics
+		// as of this chunk (update-then-transform).
+		if c, ok := ctx.carry(); ok {
+			st = c.(*scalerState)
+		} else {
+			sc, err := newScaler(p)
+			if err != nil {
+				return nil, err
+			}
+			st = &scalerState{scaler: sc, cols: numericNames(f)}
+			ctx.setCarry(st)
+		}
+		ctx.setState(st)
+		if len(st.cols) == 0 {
+			return f, nil
+		}
+		sel, err := f.Select(st.cols)
+		if err != nil {
+			return nil, err
+		}
+		if f.N > 0 {
+			ot, ok := st.scaler.(mlkit.OnlineTransformer)
+			if !ok {
+				return nil, fmt.Errorf("normalize: scaler %T cannot partial-fit", st.scaler)
+			}
+			if err := ot.PartialFit(sel.Matrix()); err != nil {
+				return nil, err
+			}
+		}
+	case ctx.mode == ModeTrain:
+		sc, err := newScaler(p)
+		if err != nil {
+			return nil, err
 		}
 		st = &scalerState{scaler: sc, cols: numericNames(f)}
 		if len(st.cols) == 0 {
@@ -550,7 +589,7 @@ func opNormalize(ctx *opCtx, in []Value, p params) (Value, error) {
 			return nil, err
 		}
 		ctx.setState(st)
-	} else {
+	default:
 		var ok bool
 		st, ok = ctx.getState().(*scalerState)
 		if !ok {

@@ -43,6 +43,16 @@ type StreamConfig struct {
 	// concurrently with absorption and would race callback-driven model
 	// mutation.
 	Hooks *StreamHooks
+	// Online enables in-stream learning. In ModeTrain the train op and
+	// the online-capable scalers (normalize, clip) stream chunk-by-chunk
+	// through partial-fit carry state instead of deferring to the flush
+	// barrier, so fitting runs in bounded memory over one pass. In
+	// ModeTest the train op evaluates prequentially (test-then-train):
+	// each chunk is scored by the model as fitted before the chunk
+	// arrived, then absorbed as labelled training data when the model
+	// supports mlkit.PartialFitter. Online runs keep model scoring on the
+	// ordered sink (no shard lanes), because the model mutates mid-stream.
+	Online bool
 }
 
 // pipelined reports whether the config selects the staged pipeline.
@@ -86,6 +96,7 @@ var streamableAlways = map[string]bool{
 	"field_extract": true, "nprint": true, "kitsune_features": true,
 	"dot11_features": true, "select": true, "filter": true,
 	"concat_cols": true, "derive": true, "log_scale": true, "model": true,
+	"drift_detect": true,
 }
 
 // streamableTest lists ops that fit global state in ModeTrain (a barrier)
@@ -96,13 +107,24 @@ var streamableTest = map[string]bool{
 	"drop_const": true, "drop_correlated": true, "balance": true, "train": true,
 }
 
+// streamableOnlineTrain lists the ops that additionally stream in
+// ModeTrain when StreamConfig.Online is set: the train op partial-fits
+// its model chunk-by-chunk, and the scalers fold Welford/P² carry state
+// instead of fitting behind the barrier.
+var streamableOnlineTrain = map[string]bool{
+	"normalize": true, "clip": true, "train": true,
+}
+
 // streamable reports whether fn can run per chunk in the given mode.
 // Unknown ops default to barrier: correctness over memory.
-func streamable(fn string, mode Mode) bool {
+func streamable(fn string, mode Mode, online bool) bool {
 	if streamableAlways[fn] {
 		return true
 	}
-	return mode == ModeTest && streamableTest[fn]
+	if mode == ModeTest && streamableTest[fn] {
+		return true
+	}
+	return online && mode == ModeTrain && streamableOnlineTrain[fn]
 }
 
 // orderedOnly reports whether a streamed op must see chunks in stream
@@ -113,11 +135,16 @@ func streamable(fn string, mode Mode) bool {
 //     timestamp) — without iat it is order-free;
 //   - train in test mode scores through the fitted classifier, whose
 //     inference path may reuse internal scratch buffers (e.g. MLP batch
-//     activations), so concurrent calls on one model are unsafe.
-func orderedOnly(op OpSpec) bool {
+//     activations), so concurrent calls on one model are unsafe;
+//   - drift_detect folds a Page-Hinkley statistic over the score stream;
+//   - in online train mode, normalize and clip fold streaming-scaler
+//     carry state (Welford moments, P² quantile markers) across chunks.
+func orderedOnly(op OpSpec, mode Mode, online bool) bool {
 	switch op.Func {
-	case "kitsune_features", "dot11_features", "train":
+	case "kitsune_features", "dot11_features", "train", "drift_detect":
 		return true
+	case "normalize", "clip":
+		return online && mode == ModeTrain
 	case "field_extract":
 		for _, f := range params(op.Params).strList("fields") {
 			if f == "iat" {
@@ -159,14 +186,19 @@ type streamPlan struct {
 	// flush. Streamed values consumed only by streamed ops are never kept.
 	accum map[string]bool
 	// needPackets: some deferred op (or flow sink) reads the full packet
-	// set at flush, so it must be available as one dataset.
+	// set at flush, so it must be available as one dataset. flowOnly
+	// refines it: the packets are needed solely by flow sinks, which
+	// consume PacketSummary values — that case can still ride the lazy
+	// view fast path, with summaries accumulated per chunk instead of
+	// decoded packets.
 	needPackets bool
+	flowOnly    bool
 }
 
 // planStream classifies every op: an op streams iff its class allows it
 // and every input is itself streamed (a value produced behind a barrier
 // only exists at flush).
-func (e *Engine) planStream(mode Mode) *streamPlan {
+func (e *Engine) planStream(mode Mode, online bool) *streamPlan {
 	pl := &streamPlan{
 		streamed:      make([]bool, len(e.P.Ops)),
 		flowSink:      make([]bool, len(e.P.Ops)),
@@ -187,9 +219,10 @@ func (e *Engine) planStream(mode Mode) *streamPlan {
 		if op.Func == "flow_assemble" && allStreamed {
 			pl.flowSink[i] = true
 			pl.needPackets = true // Flows retain the full dataset for labels
+			pl.flowOnly = true
 			continue
 		}
-		if allStreamed && streamable(op.Func, mode) {
+		if allStreamed && streamable(op.Func, mode, online) {
 			pl.streamed[i] = true
 			streamedVal[op.Output] = true
 		}
@@ -203,7 +236,7 @@ func (e *Engine) planStream(mode Mode) *streamPlan {
 		if !pl.streamed[i] {
 			continue
 		}
-		free := !orderedOnly(op)
+		free := !orderedOnly(op, mode, online)
 		for _, in := range op.Input {
 			if !workerVal[in] {
 				free = false
@@ -227,7 +260,7 @@ func (e *Engine) planStream(mode Mode) *streamPlan {
 		if !pl.ordered[i] {
 			continue
 		}
-		eligible := op.Func == "train" && mode == ModeTest
+		eligible := op.Func == "train" && mode == ModeTest && !online
 		if eligible {
 			for j := i + 1; j < len(e.P.Ops) && eligible; j++ {
 				if !pl.streamed[j] {
@@ -255,6 +288,7 @@ func (e *Engine) planStream(mode Mode) *streamPlan {
 		for _, in := range op.Input {
 			if in == InputName {
 				pl.needPackets = true
+				pl.flowOnly = false // a deferred op reads decoded packets
 			} else if streamedVal[in] {
 				pl.accum[in] = true
 			}
@@ -307,9 +341,15 @@ type labeledSource interface {
 // stream position and fold state, which the content-addressed cache
 // cannot express.
 func (e *Engine) RunStream(src dataset.Source, mode Mode, cfg StreamConfig) (*EvalResult, error) {
-	r, err := newStreamExec(e, src, mode)
+	r, err := newStreamExec(e, src, mode, cfg.Online)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Online {
+		// Online runs mutate the model between chunks (partial fit,
+		// prequential test-then-train), so model scoring must see chunks
+		// one at a time in stream order: single sink, no lanes.
+		cfg.Shards = 1
 	}
 	if cfg.Hooks.active() {
 		r.hooks = cfg.Hooks

@@ -20,12 +20,13 @@ import (
 // viewHint decides whether the planned stream can run on lazy
 // PacketView chunks and, if so, how deep the source should predecode
 // them. The fast path requires every reader of the raw chunk to be a
-// streamed, view-aware packet op; anything else — a deferred op or flow
-// sink needing the full packet set (pl.needPackets), or an op without a
+// streamed, view-aware packet op or a flow sink (which consumes
+// PacketSummary values the run retains for flush); anything else — a
+// deferred op needing the full decoded packet set, or an op without a
 // columnar implementation — keeps the classic eager *Packet chunks.
 func (e *Engine) viewHint(pl *streamPlan) (netpkt.DecodeHint, bool) {
 	var hint netpkt.DecodeHint
-	if pl.needPackets {
+	if pl.needPackets && !pl.flowOnly {
 		return hint, false
 	}
 	for i, op := range e.P.Ops {
@@ -36,6 +37,12 @@ func (e *Engine) viewHint(pl *streamPlan) (netpkt.DecodeHint, bool) {
 			}
 		}
 		if !readsInput {
+			continue
+		}
+		if pl.flowSink[i] {
+			// Flow sinks consume PacketSummary values; building the
+			// five-tuple needs the L2-L4 headers.
+			hint.Headers = true
 			continue
 		}
 		if !pl.streamed[i] {

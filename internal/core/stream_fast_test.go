@@ -150,6 +150,57 @@ func TestStreamFastPathEquivalence(t *testing.T) {
 	}
 }
 
+// TestStreamFastPathFlowOnly: a pipeline whose only packet reader is a
+// flow sink rides the lazy view path — assemblers are fed per-packet
+// summaries built from the views, the summaries are retained, and the
+// flush-time feature pass reads them instead of decoded packets. The
+// result must be bit-identical to the eager run.
+func TestStreamFastPathFlowOnly(t *testing.T) {
+	spec, ok := dataset.Get("P0")
+	if !ok {
+		t.Fatal("no dataset P0")
+	}
+	ds := spec.Generate(0.05)
+	raw := captureBytes(t, ds)
+	p := flowPipeline("decision_tree", map[string]any{"max_depth": 6})
+	eng := NewEngine(p)
+	eng.Seed = 7
+	if err := eng.Train(ds); err != nil {
+		t.Fatal(err)
+	}
+	shapes := []StreamConfig{
+		{ChunkRows: 64},
+		{ChunkRows: 64, PipelineDepth: 2, Workers: 2},
+	}
+	for _, cfg := range shapes {
+		label := fmt.Sprintf("depth %d, workers %d", cfg.PipelineDepth, cfg.Workers)
+		es, err := dataset.NewPcapSource("mem.pcap", bytes.NewReader(raw), dataset.Packet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := eng.RunStream(&eagerSource{inner: es}, ModeTest, cfg)
+		if err != nil {
+			t.Fatalf("eager (%s): %v", label, err)
+		}
+		if eng.LastStream.LazyViews {
+			t.Fatalf("eager run (%s) took the fast path", label)
+		}
+
+		ls, err := dataset.NewPcapSource("mem.pcap", bytes.NewReader(raw), dataset.Packet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.RunStream(ls, ModeTest, cfg)
+		if err != nil {
+			t.Fatalf("lazy (%s): %v", label, err)
+		}
+		if !eng.LastStream.LazyViews {
+			t.Fatalf("flow-only lazy run (%s) did not take the fast path", label)
+		}
+		requireEqualResults(t, want, got, "flow-only "+label)
+	}
+}
+
 // TestStreamFastPathShardsForcedSequentialSink: the shard router
 // partitions on eagerly decoded packets, so view mode must fold a
 // sharded request back to one lane rather than decode eagerly.

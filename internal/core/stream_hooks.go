@@ -28,6 +28,16 @@ type ChunkUpdate struct {
 	// deferred to the flush pass (flow granularities, barrier suffixes) —
 	// those verdicts appear only in RunStream's final merged result.
 	Results []*EvalResult
+	// Drift holds the drift_detect events raised during this chunk, in
+	// detection order. The slice is pooled with the chunk job: copy it to
+	// retain events past the callback.
+	Drift []DriftEvent
+	// Features / Labels are the train op's per-chunk input feature matrix
+	// and labels, set only when StreamHooks.WantFeatures is true and the
+	// feature frame streams (nil otherwise). Valid only during the
+	// callback: copy rows to retain them (e.g. into a retrain reservoir).
+	Features [][]float64
+	Labels   []int
 }
 
 // StreamHooks are per-chunk lifecycle callbacks of one RunStream pass.
@@ -49,6 +59,11 @@ type StreamHooks struct {
 	// AfterChunk is called after each chunk is absorbed; see the type
 	// comment for the execution contract. Nil disables the hook.
 	AfterChunk func(ChunkUpdate) error
+	// WantFeatures requests the train op's per-chunk input features (and
+	// labels when the frame carries them) on every ChunkUpdate, so a
+	// consumer can maintain a retraining reservoir without re-deriving
+	// the feature pipeline.
+	WantFeatures bool
 }
 
 // active reports whether any callback is set.
@@ -66,6 +81,13 @@ func (r *streamExec) afterChunk(job *chunkJob) error {
 		Base:    job.nc.Base,
 		Packets: job.nc.Packets,
 		Results: job.results,
+		Drift:   job.drift,
+	}
+	if r.hooks.WantFeatures && r.trainFrame != "" {
+		if fr, ok := job.env[r.trainFrame].(*Frame); ok {
+			up.Features = fr.Matrix()
+			up.Labels = fr.Labels
+		}
 	}
 	if err := r.hooks.AfterChunk(up); err != nil {
 		return fmt.Errorf("core: after-chunk hook (chunk %d): %w", job.nc.Seq, err)

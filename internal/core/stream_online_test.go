@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"lumen/internal/dataset"
+	"lumen/internal/obs"
+)
+
+// onlinePipeline is the canonical online-learning template: streaming
+// scalers feed an SGD-family model, with a drift monitor on the score
+// stream.
+func onlinePipeline(model string) *Pipeline {
+	return &Pipeline{
+		Name:        "stream-online-" + model,
+		Granularity: "packet",
+		Ops: []OpSpec{
+			{Func: "field_extract", Input: []string{InputName}, Output: "X",
+				Params: map[string]any{"fields": []any{"len", "ttl", "dst_port", "tcp_syn"}}},
+			{Func: "normalize", Input: []string{"X"}, Output: "Xn", Params: map[string]any{"kind": "zscore"}},
+			{Func: "clip", Input: []string{"Xn"}, Output: "Xc", Params: map[string]any{"quantile": 0.99}},
+			{Func: "model", Output: "m", Params: map[string]any{"model_type": model}},
+			{Func: "train", Input: []string{"m", "Xc"}, Output: "fit"},
+			{Func: "drift_detect", Input: []string{"fit"}, Output: "drift",
+				Params: map[string]any{"lambda": 5.0, "min_samples": 10}},
+		},
+	}
+}
+
+// noScalerPipeline keeps the feature path stateless so online training is
+// a pure function of global row order.
+func noScalerPipeline(model string) *Pipeline {
+	return &Pipeline{
+		Name:        "stream-online-raw-" + model,
+		Granularity: "packet",
+		Ops: []OpSpec{
+			{Func: "field_extract", Input: []string{InputName}, Output: "X",
+				Params: map[string]any{"fields": []any{"len", "ttl", "dst_port", "tcp_syn"}}},
+			{Func: "model", Output: "m", Params: map[string]any{"model_type": model}},
+			{Func: "train", Input: []string{"m", "X"}, Output: "fit"},
+		},
+	}
+}
+
+func onlineDS(t *testing.T) *dataset.Labeled {
+	t.Helper()
+	spec, ok := dataset.Get("P0")
+	if !ok {
+		t.Fatal("no dataset P0")
+	}
+	return spec.Generate(0.05)
+}
+
+// TestOnlineTrainChunkInvariantNoScaler: without streaming scalers in the
+// path, an online training pass is a pure fold over the global row order,
+// so every chunk size must produce the identical fitted model. linear_svm
+// and mlp partial-fit natively; decision_tree goes through the reservoir
+// wrapper, whose Algorithm-R sample is also a function of row order only.
+func TestOnlineTrainChunkInvariantNoScaler(t *testing.T) {
+	ds := onlineDS(t)
+	for _, model := range []string{"linear_svm", "mlp", "decision_tree"} {
+		var want *EvalResult
+		for _, rows := range streamChunkSizes {
+			eng := NewEngine(noScalerPipeline(model))
+			eng.Seed = 7
+			if err := eng.TrainStream(ds, StreamConfig{ChunkRows: rows, Online: true}); err != nil {
+				t.Fatalf("%s chunk %d: online train: %v", model, rows, err)
+			}
+			got, err := eng.Test(ds)
+			if err != nil {
+				t.Fatalf("%s chunk %d: test: %v", model, rows, err)
+			}
+			if want == nil {
+				want = got
+				continue
+			}
+			if !reflect.DeepEqual(want.Pred, got.Pred) {
+				t.Errorf("%s: chunk size %d trains a different model", model, rows)
+			}
+		}
+	}
+}
+
+// TestOnlinePrequentialShapeEquivalence: at a fixed chunk size, an online
+// pass (streaming scalers, partial-fit train, prequential test, drift
+// monitor) must produce identical results under every execution shape —
+// sequential, pipelined, worker fan-out, and a sharded request (which
+// online demotes to one sink).
+func TestOnlinePrequentialShapeEquivalence(t *testing.T) {
+	ds := onlineDS(t)
+	p := onlinePipeline("linear_svm")
+	for _, rows := range streamChunkSizes {
+		var want *EvalResult
+		wantDrift := -1
+		for _, shape := range streamExecShapes {
+			shape.ChunkRows = rows
+			shape.Online = true
+			eng := NewEngine(p)
+			eng.Seed = 7
+			if err := eng.TrainStream(ds, shape); err != nil {
+				t.Fatalf("chunk %d shape %+v: train: %v", rows, shape, err)
+			}
+			got, err := eng.TestStream(ds, shape)
+			if err != nil {
+				t.Fatalf("chunk %d shape %+v: test: %v", rows, shape, err)
+			}
+			if want == nil {
+				want, wantDrift = got, eng.LastStream.DriftEvents
+				continue
+			}
+			requireEqualResults(t, want, got, fmt.Sprintf("chunk %d workers %d shards %d", rows, shape.Workers, shape.Shards))
+			if eng.LastStream.DriftEvents != wantDrift {
+				t.Errorf("chunk %d workers %d shards %d: %d drift events, want %d",
+					rows, shape.Workers, shape.Shards, eng.LastStream.DriftEvents, wantDrift)
+			}
+		}
+	}
+}
+
+// TestOnlineScalersStream pins that an online training pass streams the
+// scalers and the train op (no barrier, no retained packets): the whole
+// pipeline must be classified streamed in ModeTrain when online.
+func TestOnlineScalersStream(t *testing.T) {
+	p := onlinePipeline("linear_svm")
+	eng := NewEngine(p)
+	eng.Seed = 7
+	if err := eng.Check(); err != nil {
+		t.Fatal(err)
+	}
+	off := eng.planStream(ModeTrain, false)
+	on := eng.planStream(ModeTrain, true)
+	for i, op := range p.Ops {
+		if op.Func == "model" {
+			continue
+		}
+		if !on.streamed[i] {
+			t.Errorf("online train: op %s not streamed", op.Func)
+		}
+	}
+	for _, fn := range []string{"normalize", "clip", "train"} {
+		for i, op := range p.Ops {
+			if op.Func == fn && off.streamed[i] {
+				t.Errorf("offline train: op %s unexpectedly streamed", fn)
+			}
+		}
+	}
+	if len(on.accum) != 0 || on.needPackets {
+		t.Errorf("online train plan retains state: accum=%v needPackets=%v", on.accum, on.needPackets)
+	}
+}
+
+// driftedDS reorders a trace so all benign packets precede all attack
+// packets: a score stream that shifts sharply mid-trace.
+func driftedDS(t *testing.T) *dataset.Labeled {
+	t.Helper()
+	ds := onlineDS(t)
+	out := &dataset.Labeled{
+		Name:        ds.Name + "-drift",
+		Granularity: ds.Granularity,
+		Link:        ds.Link,
+		Devices:     ds.Devices,
+	}
+	for _, want := range []int{0, 1} {
+		for i, l := range ds.Labels {
+			if l != want {
+				continue
+			}
+			out.Packets = append(out.Packets, ds.Packets[i])
+			out.Labels = append(out.Labels, l)
+			out.Attacks = append(out.Attacks, ds.Attacks[i])
+		}
+	}
+	return out
+}
+
+// TestDriftDetectRaisesEvents: a model that tracks the labels sees its
+// prediction stream shift when the attack phase begins; the drift op must
+// fire, surface events through the hook (with the chunk's features when
+// requested), and count them in LastStream.
+func TestDriftDetectRaisesEvents(t *testing.T) {
+	ds := driftedDS(t)
+	p := &Pipeline{
+		Name:        "stream-drift",
+		Granularity: "packet",
+		Ops: []OpSpec{
+			{Func: "field_extract", Input: []string{InputName}, Output: "X",
+				Params: map[string]any{"fields": []any{"len", "ttl", "dst_port", "tcp_syn"}}},
+			{Func: "model", Output: "m", Params: map[string]any{"model_type": "decision_tree", "max_depth": 6}},
+			{Func: "train", Input: []string{"m", "X"}, Output: "fit"},
+			{Func: "drift_detect", Input: []string{"fit"}, Output: "drift",
+				Params: map[string]any{"lambda": 5.0, "min_samples": 10}},
+		},
+	}
+	eng := NewEngine(p)
+	eng.Seed = 7
+	if err := eng.Train(ds); err != nil {
+		t.Fatal(err)
+	}
+	var events []DriftEvent
+	sawFeatures := false
+	hooks := &StreamHooks{
+		WantFeatures: true,
+		AfterChunk: func(up ChunkUpdate) error {
+			events = append(events, up.Drift...)
+			if len(up.Features) > 0 && len(up.Features) == len(up.Labels) {
+				sawFeatures = true
+			}
+			return nil
+		},
+	}
+	res, err := eng.TestStream(ds, StreamConfig{ChunkRows: 64, Hooks: hooks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pred) != len(ds.Packets) {
+		t.Fatalf("got %d predictions for %d packets", len(res.Pred), len(ds.Packets))
+	}
+	if len(events) == 0 {
+		t.Fatal("no drift events on a label-shifted trace")
+	}
+	if eng.LastStream.DriftEvents != len(events) {
+		t.Errorf("LastStream.DriftEvents = %d, hook saw %d", eng.LastStream.DriftEvents, len(events))
+	}
+	if !sawFeatures {
+		t.Error("WantFeatures did not surface the train frame")
+	}
+	ev := events[0]
+	if ev.Output != "drift" || ev.Stat <= 0 || ev.Base < 0 || ev.Row < 0 {
+		t.Errorf("malformed drift event: %+v", ev)
+	}
+	// The first detection should come after the benign prefix.
+	nBenign := 0
+	for _, l := range ds.Labels {
+		if l == 0 {
+			nBenign++
+		}
+	}
+	if global := ev.Base + ev.Row; global < nBenign/2 {
+		t.Errorf("drift fired at row %d, before the shift region (benign prefix %d)", global, nBenign)
+	}
+}
+
+// TestShardMetricsSingleCount is the double-count regression test: a
+// sharded sink splits the train op across K lanes, but lumen_ops_total
+// must still count one execution per chunk, exactly like the unsharded
+// sink.
+func TestShardMetricsSingleCount(t *testing.T) {
+	ds := onlineDS(t)
+	p := fieldPipeline()
+	counts := map[int]uint64{}
+	chunks := map[int]int{}
+	for _, shards := range []int{1, 4} {
+		eng := NewEngine(p)
+		eng.Seed = 7
+		if err := eng.TrainStream(ds, StreamConfig{ChunkRows: 64}); err != nil {
+			t.Fatal(err)
+		}
+		met := obs.NewMetrics()
+		eng.Metrics = met
+		cfg := StreamConfig{ChunkRows: 64, PipelineDepth: 2, Workers: 2, Shards: shards}
+		if _, err := eng.TestStream(ds, cfg); err != nil {
+			t.Fatal(err)
+		}
+		if shards > 1 && eng.LastStream.Shards != shards {
+			t.Fatalf("sharded sink did not engage (got %d lanes)", eng.LastStream.Shards)
+		}
+		counts[shards] = met.Counter("lumen_ops_total",
+			"Pipeline operations executed (including cache-served ones).",
+			"op", "train").Value()
+		chunks[shards] = eng.LastStream.Chunks
+	}
+	for shards, n := range counts {
+		if want := uint64(chunks[shards]); n != want {
+			t.Errorf("shards=%d: lumen_ops_total{op=train} = %d, want %d (one per chunk)", shards, n, want)
+		}
+	}
+}

@@ -44,6 +44,9 @@ type StreamStats struct {
 	// path: the source emitted lazy PacketView chunks and the packet ops
 	// filled frame columns straight from them.
 	LazyViews bool
+	// DriftEvents counts the detections raised by drift_detect ops over
+	// the whole pass.
+	DriftEvents int
 }
 
 // runPipelined executes one RunStream pass as a staged, bounded-channel

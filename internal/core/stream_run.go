@@ -8,6 +8,8 @@ import (
 
 	"lumen/internal/dataset"
 	"lumen/internal/flow"
+	"lumen/internal/mlkit"
+	"lumen/internal/netpkt"
 	"lumen/internal/obs"
 )
 
@@ -35,7 +37,10 @@ type streamExec struct {
 	// lazyViews records that enableViews switched the source onto the
 	// zero-copy PacketView fast path for this pass.
 	lazyViews bool
-	prof      []OpStats
+	// trainFrame is the name of the train op's feature-frame input,
+	// resolved once so hooks with WantFeatures can find it per chunk.
+	trainFrame string
+	prof       []OpStats
 
 	accum   map[string][]*Frame
 	lastVal map[string]Value
@@ -44,7 +49,12 @@ type streamExec struct {
 
 	// accDS accumulates the full packet set when the plan needs it and
 	// the source cannot hand over a materialized dataset.
-	accDS      *dataset.Labeled
+	accDS *dataset.Labeled
+	// accSums accumulates per-packet summaries on the lazy view path of
+	// flow-only plans, so flow features can read member-packet fields at
+	// flush without a decoded packet set. Fed by feedSinks on the ordered
+	// goroutine.
+	accSums    []netpkt.PacketSummary
 	lsrc       labeledSource
 	hasLabeled bool
 	nChunks    int
@@ -52,16 +62,16 @@ type streamExec struct {
 
 // newStreamExec validates the pipeline and sets up the plan, flow sinks,
 // profile and accumulators of one RunStream pass.
-func newStreamExec(e *Engine, src dataset.Source, mode Mode) (*streamExec, error) {
+func newStreamExec(e *Engine, src dataset.Source, mode Mode, online bool) (*streamExec, error) {
 	if err := e.Check(); err != nil {
 		return nil, err
 	}
 	r := &streamExec{
 		e:       e,
 		mode:    mode,
-		pl:      e.planStream(mode),
+		pl:      e.planStream(mode, online),
 		meta:    src.Meta(),
-		sc:      &streamCtx{carry: map[string]any{}},
+		sc:      &streamCtx{carry: map[string]any{}, online: online},
 		sinks:   map[int]*flowSinkState{},
 		accum:   map[string][]*Frame{},
 		lastVal: map[string]Value{},
@@ -74,6 +84,11 @@ func newStreamExec(e *Engine, src dataset.Source, mode Mode) (*streamExec, error
 	r.prof = make([]OpStats, len(e.P.Ops))
 	for i, op := range e.P.Ops {
 		r.prof[i] = OpStats{Func: op.Func, Output: op.Output}
+	}
+	for _, op := range e.P.Ops {
+		if op.Func == "train" && len(op.Input) == 2 {
+			r.trainFrame = op.Input[1]
+		}
 	}
 	r.lsrc, r.hasLabeled = src.(labeledSource)
 	if r.pl.needPackets && !r.hasLabeled {
@@ -140,7 +155,10 @@ type chunkJob struct {
 	// stats is indexed by op; only executed ops write their entry.
 	stats   []OpStats
 	results []*EvalResult
-	err     error
+	// drift collects the chunk's drift_detect events (Seq is stamped at
+	// absorb time, once the chunk's order in the stream is settled).
+	drift []DriftEvent
+	err   error
 	// wsc is the job-local stream context used on parallel workers. Ops
 	// that fan out never depend on cross-chunk fold state, but some
 	// (field_extract without iat) still save it; writing into a
@@ -197,6 +215,7 @@ func (r *streamExec) newJob(nc dataset.NumberedChunk) *chunkJob {
 		clear(j.stats)
 	}
 	j.results = j.results[:0]
+	j.drift = j.drift[:0]
 	j.err = nil
 	if j.wsc.carry == nil {
 		j.wsc.carry = map[string]any{}
@@ -204,6 +223,7 @@ func (r *streamExec) newJob(nc dataset.NumberedChunk) *chunkJob {
 		clear(j.wsc.carry)
 	}
 	j.wsc.base = nc.Base
+	j.wsc.online = r.sc.online
 	return j
 }
 
@@ -228,9 +248,26 @@ func putChunkJob(j *chunkJob) {
 }
 
 // feedSinks pushes the job's packets through every incremental flow
-// assembler. Only the goroutine that owns stream order may call it.
+// assembler. Only the goroutine that owns stream order may call it. On
+// the lazy view path each packet's summary is built once, feeds every
+// sink, and is retained for the flush-time feature pass (accSums).
 func (r *streamExec) feedSinks(job *chunkJob) {
 	if len(r.sinks) == 0 {
+		return
+	}
+	if len(job.nc.Views) > 0 {
+		for j := range job.nc.Views {
+			sum := job.nc.Views[j].Summary()
+			gi := job.nc.Base + j
+			for _, s := range r.sinks {
+				if s.uni != nil {
+					s.unis = append(s.unis, s.uni.AddSummary(gi, sum)...)
+				} else {
+					s.cons = append(s.cons, s.conn.AddSummary(gi, sum)...)
+				}
+			}
+			r.accSums = append(r.accSums, sum)
+		}
 		return
 	}
 	for i := range r.e.P.Ops {
@@ -272,7 +309,7 @@ func (r *streamExec) runOps(job *chunkJob, pick []bool, sc *streamCtx, chunkSpan
 			}
 			in[j] = v
 		}
-		ctx := &opCtx{mode: r.mode, outName: op.Output, state: e.state, seed: e.Seed, metrics: e.Metrics, stream: sc}
+		ctx := &opCtx{mode: r.mode, outName: op.Output, state: e.state, seed: e.Seed, metrics: e.Metrics, stream: sc, drift: &job.drift}
 		if chunkSpan != nil {
 			ctx.span = chunkSpan.Child("op:" + op.Func)
 			ctx.span.Set("output", op.Output)
@@ -320,6 +357,10 @@ func (r *streamExec) absorb(job *chunkJob) error {
 		r.prof[i].OutRows += job.stats[i].OutRows
 	}
 	r.results = append(r.results, job.results...)
+	for i := range job.drift {
+		job.drift[i].Seq = job.nc.Seq
+	}
+	r.e.LastStream.DriftEvents += len(job.drift)
 	for name := range r.pl.accum {
 		v, ok := job.env[name]
 		if !ok {
@@ -434,6 +475,21 @@ func (r *streamExec) finish() (*EvalResult, error) {
 	e.LastStream.HWMBytes = r.hwm
 	e.LastStream.LazyViews = r.lazyViews
 	if r.mode == ModeTrain {
+		if r.sc.online {
+			// Reservoir-wrapped batch models have only been accumulating
+			// rows; make sure every trained state ends the pass fitted.
+			for _, v := range e.state {
+				tr, ok := v.(*Trained)
+				if !ok {
+					continue
+				}
+				if ff, ok := tr.Clf.(mlkit.FinishFitter); ok {
+					if err := ff.FinishFit(); err != nil {
+						return nil, fmt.Errorf("core: finish fit: %w", err)
+					}
+				}
+			}
+		}
 		e.trained = true
 	}
 	return mergeResults(r.results), nil

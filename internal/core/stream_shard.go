@@ -344,7 +344,10 @@ func (ln *shardLane) scoreRows(s *shardRun, j *chunkJob) {
 	start := time.Now()
 	_, err := e.runOp(opRegistry[op.Func], ctx, op, in, &st)
 	lr.wall = time.Since(start)
-	e.finishOp(ctx.span, &st, err)
+	// Close only the lane's span here: the op executed once logically,
+	// split across K lanes, so the merger emits its single metrics sample
+	// at stitch time (per-lane emission would count the op K times).
+	finishOpSpan(ctx.span, &st, err)
 	if err != nil {
 		lr.err = fmt.Errorf("core: op %d (%s -> %s): %w", i, op.Func, op.Output, err)
 		return
@@ -386,14 +389,21 @@ func (s *shardRun) stitch(j *chunkJob) {
 	if j.err != nil || !j.routed || s.laneOp < 0 || j.demoted || j.laneFrame == nil {
 		return
 	}
+	i := s.laneOp
+	op := s.r.e.P.Ops[i]
+	var wall time.Duration
+	for k := range j.laneRes {
+		wall += j.laneRes[k].wall
+	}
+	// One metrics sample per logical op execution, matching the unsharded
+	// sink (which records the op even when it fails).
+	defer s.r.e.opMetrics(&OpStats{Func: op.Func, Output: op.Output, Wall: wall})
 	for k := range j.laneRes {
 		if err := j.laneRes[k].err; err != nil {
 			j.err = err
 			return
 		}
 	}
-	i := s.laneOp
-	op := s.r.e.P.Ops[i]
 	fr := j.laneFrame
 	res := &EvalResult{
 		Unit:    fr.Unit,
@@ -418,10 +428,6 @@ func (s *shardRun) stitch(j *chunkJob) {
 	}
 	j.results = append(j.results, res)
 	j.env[op.Output] = s.shared
-	var wall time.Duration
-	for k := range j.laneRes {
-		wall += j.laneRes[k].wall
-	}
 	j.stats[i] = OpStats{Func: op.Func, Output: op.Output, Wall: wall}
 }
 
@@ -452,7 +458,7 @@ func (s *shardRun) close() error {
 // merging the per-lane partitions (sharded runs) with the direct sink
 // (unsharded runs) back into canonical order.
 func (r *streamExec) finishFlows(i int, s *flowSinkState, fullDS *dataset.Labeled) *Flows {
-	out := &Flows{DS: fullDS, Granularity: s.gran}
+	out := &Flows{DS: fullDS, Granularity: s.gran, Sums: r.accSums}
 	if s.uni != nil {
 		parts := [][]*flow.Uniflow{append(s.unis, s.uni.Flush()...)}
 		for _, ln := range r.lanes {

@@ -87,6 +87,20 @@ type Flows struct {
 	Granularity dataset.Granularity
 	Unis        []*flow.Uniflow    // set when Granularity == UniflowG
 	Conns       []*flow.Connection // set when Granularity == ConnectionG
+	// Sums, when non-nil, carries per-packet summaries indexed like
+	// DS.Packets would be; set by streaming runs on the lazy view fast
+	// path, where the decoded packet set is never materialized. Feature
+	// computation reads per-packet fields through summary().
+	Sums []netpkt.PacketSummary
+}
+
+// summary returns the flow-assembly fields of member packet pi from
+// whichever representation the value carries.
+func (f *Flows) summary(pi int) netpkt.PacketSummary {
+	if f.Sums != nil {
+		return f.Sums[pi]
+	}
+	return f.DS.Packets[pi].Summary()
 }
 
 // Kind implements Value.

@@ -96,6 +96,9 @@ type PipeConfig struct {
 	ConnLog io.Writer
 	// FlowOpts configures the conn-log assembler (idle timeout).
 	FlowOpts flow.Options
+	// Retrain enables drift-triggered background retraining with hot swap
+	// (see RetrainConfig).
+	Retrain RetrainConfig
 }
 
 // SwapOptions configures one hot-swap attempt.
@@ -211,6 +214,14 @@ type Pipe struct {
 	connDone     []*flow.Connection
 	swapOpts     SwapOptions
 	span         *obs.Span
+	// Retrain state: the reservoir and cooldown marker live on the
+	// scoring goroutine; retrainBusy is the single-flight latch shared
+	// with the background fit goroutine.
+	retrain      RetrainConfig
+	res          *retrainRes
+	lastRetrain  int64
+	retrainArmed bool
+	retrainBusy  atomic.Bool
 
 	passes   atomic.Int64
 	chunks   atomic.Int64
@@ -220,7 +231,7 @@ type Pipe struct {
 	reloads  atomic.Int64
 
 	mChunks, mPackets, mVerdicts, mAlerts *obs.Counter
-	mPasses, mReloads                     *obs.Counter
+	mPasses, mReloads, mDrift             *obs.Counter
 	mState, mGen, mShadowing              *obs.Gauge
 }
 
@@ -259,8 +270,13 @@ func (d *Daemon) newPipe(cfg PipeConfig) (*Pipe, error) {
 		ctrl:          make(chan ctrlMsg, 16),
 		done:          make(chan struct{}),
 		state:         StateRunning,
+		retrain:       cfg.Retrain,
 	}
 	p.stream.Hooks = &core.StreamHooks{AfterChunk: p.afterChunk}
+	if cfg.Retrain.Enabled {
+		p.stream.Hooks.WantFeatures = true
+		p.res = newRetrainRes(cfg.Retrain.cap(), cfg.Retrain.Seed)
+	}
 	if cfg.Alerts != nil {
 		p.alertw = bufio.NewWriter(cfg.Alerts)
 		p.enc = json.NewEncoder(p.alertw)
@@ -277,6 +293,7 @@ func (d *Daemon) newPipe(cfg PipeConfig) (*Pipe, error) {
 	p.mAlerts = m.Counter("lumen_daemon_alerts_total", "Alert lines written, per pipeline.", lbl...)
 	p.mPasses = m.Counter("lumen_daemon_passes_total", "RunStream passes, per pipeline.", lbl...)
 	p.mReloads = m.Counter("lumen_daemon_reloads_total", "Completed reloads, per pipeline.", lbl...)
+	p.mDrift = m.Counter("lumen_drift_events_total", "Drift-detector events observed, per pipeline.", lbl...)
 	p.mState = m.Gauge("lumen_daemon_pipeline_state", "Lifecycle state (0 running, 1 draining, 2 stopped, 3 failed).", lbl...)
 	p.mGen = m.Gauge("lumen_daemon_model_generation", "Active model generation, per pipeline.", lbl...)
 	p.mShadowing = m.Gauge("lumen_daemon_swap_shadowing", "1 while a hot swap is shadow-scoring.", lbl...)
@@ -424,6 +441,7 @@ func (p *Pipe) afterChunk(up core.ChunkUpdate) error {
 	p.packets.Add(int64(len(up.Packets)))
 	p.mChunks.Inc()
 	p.mPackets.Add(uint64(len(up.Packets)))
+	p.observeDrift(up)
 	p.pumpCtrl()
 	p.updateSwap()
 	return nil

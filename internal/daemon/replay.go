@@ -17,6 +17,7 @@ type ReplaySource struct {
 	mu      sync.Mutex
 	inner   dataset.Source
 	speed   float64
+	delay   time.Duration
 	stop    chan struct{}
 	stopped bool
 	emitted bool
@@ -32,6 +33,21 @@ type ReplaySource struct {
 // returned source forwards it so barrier ops avoid re-accumulation.
 func NewReplaySource(inner dataset.Source, speed float64) dataset.Source {
 	r := &ReplaySource{inner: inner, speed: speed, stop: make(chan struct{})}
+	if l, ok := inner.(interface{ Labeled() *dataset.Labeled }); ok {
+		return &replayLabeled{ReplaySource: r, l: l}
+	}
+	return r
+}
+
+// NewPacedSource wraps inner with a fixed per-chunk delay, ignoring
+// capture timestamps. Where NewReplaySource recreates the capture's own
+// timeline, a paced source spaces chunks evenly — the shape drift
+// benchmarks and smokes need so background retrains and shadow windows
+// always have upcoming chunk boundaries to land on, regardless of how
+// the synthetic capture stamps its packets. Drain interrupts the delay
+// like it interrupts replay pacing.
+func NewPacedSource(inner dataset.Source, delay time.Duration) dataset.Source {
+	r := &ReplaySource{inner: inner, delay: delay, stop: make(chan struct{})}
 	if l, ok := inner.(interface{ Labeled() *dataset.Labeled }); ok {
 		return &replayLabeled{ReplaySource: r, l: l}
 	}
@@ -68,7 +84,7 @@ func (s *ReplaySource) Next(maxRows, maxBytes int) (dataset.Chunk, bool) {
 	}
 	s.mu.Lock()
 	s.emitted = true
-	var wait time.Duration
+	wait := s.delay
 	if s.speed > 0 && len(ck.Packets) > 0 {
 		first := ck.Packets[0].Ts
 		if !s.started {

@@ -1,0 +1,48 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Concat joins datasets into one trace on a continued timeline: each
+// subsequent part's packet timestamps are shifted so its first packet
+// lands one millisecond after the previous part's last. The parts must
+// share a link type. Labels, attacks and device maps carry over. The
+// shift mutates the parts' packets in place (they are shared, not
+// copied), which is fine for freshly generated datasets — the usual way
+// drifting-traffic scenarios are synthesized.
+func Concat(parts ...*Labeled) (*Labeled, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("dataset: Concat of nothing")
+	}
+	out := &Labeled{
+		Granularity: parts[0].Granularity,
+		Link:        parts[0].Link,
+	}
+	names := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p.Link != out.Link {
+			return nil, fmt.Errorf("dataset: Concat mixes link types (%v, %v)", out.Link, p.Link)
+		}
+		names = append(names, p.Name)
+		if n := len(out.Packets); n > 0 && len(p.Packets) > 0 {
+			shift := out.Packets[n-1].Ts.Add(time.Millisecond).Sub(p.Packets[0].Ts)
+			for _, pkt := range p.Packets {
+				pkt.Ts = pkt.Ts.Add(shift)
+			}
+		}
+		out.Packets = append(out.Packets, p.Packets...)
+		out.Labels = append(out.Labels, p.Labels...)
+		out.Attacks = append(out.Attacks, p.Attacks...)
+		for k, v := range p.Devices {
+			if out.Devices == nil {
+				out.Devices = map[string]string{}
+			}
+			out.Devices[k] = v
+		}
+	}
+	out.Name = strings.Join(names, "+")
+	return out, nil
+}

@@ -54,6 +54,10 @@ type Thresholded struct {
 	// quantile of the training scores (e.g. 0.98 tolerates 2% training
 	// outliers). When 0 the fixed Threshold is used as-is.
 	Quantile float64
+
+	// q2 streams the training-score quantile for PartialFit, replacing
+	// Fit's exact sort without retaining scores.
+	q2 *P2Quantile
 }
 
 // Fit fits the wrapped detector on the benign subset of X (rows with y==0),
@@ -75,6 +79,7 @@ func (t *Thresholded) Fit(X [][]float64, y []int) error {
 	if t.Quantile > 0 {
 		scores := t.Detector.Score(benign)
 		t.Threshold = Quantile(scores, t.Quantile)
+		t.q2 = nil // a fresh batch fit restarts any streaming calibration
 	}
 	return nil
 }

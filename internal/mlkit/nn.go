@@ -586,8 +586,12 @@ func (c *MLPClassifier) Fit(X [][]float64, y []int) error {
 	return c.net.FitTargets(X, T)
 }
 
-// Predict thresholds the output unit.
+// Predict thresholds the output unit; a never-fitted classifier
+// predicts all-benign.
 func (c *MLPClassifier) Predict(X [][]float64) []int {
+	if c.net == nil {
+		return make([]int, len(X))
+	}
 	thr := c.Threshold
 	if thr == 0 {
 		thr = 0.5
@@ -602,5 +606,10 @@ func (c *MLPClassifier) Predict(X [][]float64) []int {
 	return out
 }
 
-// Proba returns the raw output unit per row.
-func (c *MLPClassifier) Proba(X [][]float64) []float64 { return c.net.Predict01(X) }
+// Proba returns the raw output unit per row; all-zero before any fit.
+func (c *MLPClassifier) Proba(X [][]float64) []float64 {
+	if c.net == nil {
+		return make([]float64, len(X))
+	}
+	return c.net.Predict01(X)
+}

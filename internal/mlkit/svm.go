@@ -20,7 +20,14 @@ type LinearSVM struct {
 	b float64
 	// scale calibrates Proba's logistic squashing.
 	scale float64
-	obs   FitObserver
+	// steps is the global Pegasos step counter; persisting it across
+	// PartialFit batches keeps the 1/(λt) step size decaying.
+	steps int
+	// absSum/absN accumulate |margin| for the streaming Proba
+	// calibration.
+	absSum float64
+	absN   int
+	obs    FitObserver
 }
 
 // SetFitObserver attaches a per-epoch progress observer; the reported
@@ -43,19 +50,19 @@ func (s *LinearSVM) Fit(X [][]float64, y []int) error {
 	}
 	s.w = make([]float64, d)
 	s.b = 0
+	s.steps = 0
 	rng := NewRNG(s.Seed)
 	n := len(X)
-	t := 0
 	for e := 0; e < epochs; e++ {
 		var hinge float64
 		for k := 0; k < n; k++ {
-			t++
+			s.steps++
 			i := rng.Intn(n)
 			yi := -1.0
 			if y[i] != 0 {
 				yi = 1
 			}
-			eta := 1 / (lambda * float64(t))
+			eta := 1 / (lambda * float64(s.steps))
 			margin := yi * (Dot(s.w, X[i]) + s.b)
 			// w <- (1 - eta*lambda) w [+ eta*yi*x when violating]
 			decay := 1 - eta*lambda
@@ -74,11 +81,13 @@ func (s *LinearSVM) Fit(X [][]float64, y []int) error {
 			s.obs.FitEpoch("linear_svm", e, hinge/float64(n))
 		}
 	}
-	// Calibrate a logistic scale from the margin spread.
+	// Calibrate a logistic scale from the margin spread; the running
+	// sums carry into any subsequent PartialFit recalibration.
 	var sumAbs float64
 	for _, row := range X {
 		sumAbs += math.Abs(Dot(s.w, row) + s.b)
 	}
+	s.absSum, s.absN = sumAbs, n
 	s.scale = 1
 	if m := sumAbs / float64(n); m > 0 {
 		s.scale = 1 / m
