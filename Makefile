@@ -28,6 +28,10 @@ test:
 # The decode fast-path set (BenchmarkDecode*: eager full-stack vs lazy
 # views per depth; BenchmarkSourceStage*: the chunked source stage
 # across {eager,lazy}×{buffered,mmap}) lands in BENCH_PR8.json.
+# The watch-ingest fast-path set (BenchmarkDirSource*: the daemon's
+# rotated-capture source stage, buffered vs mmap+lazy — the acceptance
+# bar is mmap ≥ 2× buffered — plus BenchmarkShardSinkLazy*: lazy view
+# chunks flowing through the flow-sharded sink) lands in BENCH_PR10.json.
 BENCH_LABEL ?= current
 bench:
 	$(GO) test -bench=. -benchtime=300ms -count=3 -run='^$$' ./internal/mlkit/... \
@@ -40,6 +44,9 @@ bench:
 		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out BENCH_PR6.json
 	$(GO) test -bench='BenchmarkDecode|BenchmarkSourceStage' -benchtime=300ms -count=3 -run='^$$' ./internal/dataset/ \
 		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out BENCH_PR8.json
+	( $(GO) test -bench=BenchmarkDirSource -benchtime=5x -count=3 -run='^$$' ./internal/daemon/ && \
+	  $(GO) test -bench=BenchmarkShardSinkLazy -benchtime=5x -count=3 -run='^$$' ./internal/core/ ) \
+		| $(GO) run ./cmd/benchjson -label $(BENCH_LABEL) -out BENCH_PR10.json
 
 # bench-paper runs the paper table/figure reproduction benchmarks once each.
 bench-paper:
@@ -51,12 +58,15 @@ vet:
 # race runs the concurrency-sensitive packages (engine/cache singleflight,
 # streaming engine + staged pipeline + flow-sharded sink lanes — the
 # core suite sweeps every dataset × chunk size × execution shape
-# including multi-shard, so this is the shard equivalence gate — chunk
-# pump and decoder buffer pool, flow assemblers, span tracer, benchsuite
-# worker pool, the mlkit/linalg row-parallel kernels, and the resident
-# daemon: pipeline lifecycle, hot swap under live ingest, live sources,
-# the HTTP control surface, and the lumend binary end to end) under the
-# race detector. The online-learning paths ride along: the core suite's
+# including multi-shard, and the fast-path equivalence sweep runs lazy
+# view chunks through those shard lanes, so this is the shard
+# equivalence gate — chunk pump and decoder buffer pool, refcounted
+# pcap mappings under concurrent chunk release, flow assemblers, span
+# tracer, benchsuite worker pool, the mlkit/linalg row-parallel
+# kernels, and the resident daemon: pipeline lifecycle, hot swap under
+# live ingest, live sources including mmap+lazy watch ingest with
+# rotation under load, the HTTP control surface, and the lumend binary
+# end to end) under the race detector. The online-learning paths ride along: the core suite's
 # prequential equivalence tests sweep test-then-train streams across
 # chunk sizes and execution shapes, the daemon suite exercises the
 # drift-triggered background retrain racing live scoring, and the

@@ -58,7 +58,14 @@ func parse(r *bufio.Scanner) (*Run, error) {
 		case strings.HasPrefix(line, "cpu: "):
 			run.CPU = strings.TrimPrefix(line, "cpu: ")
 		case strings.HasPrefix(line, "pkg: "):
-			run.Pkg = strings.TrimPrefix(line, "pkg: ")
+			// Multiple packages can share one pipe (BENCH_PR10.json spans
+			// daemon + core); record each pkg line once, comma-joined.
+			p := strings.TrimPrefix(line, "pkg: ")
+			if run.Pkg == "" {
+				run.Pkg = p
+			} else if !strings.Contains(","+run.Pkg+",", ","+p+",") {
+				run.Pkg += "," + p
+			}
 		case strings.HasPrefix(line, "Benchmark"):
 			fields := strings.Fields(line)
 			if len(fields) < 4 || fields[3] != "ns/op" {

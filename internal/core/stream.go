@@ -386,6 +386,9 @@ func (e *Engine) RunStream(src dataset.Source, mode Mode, cfg StreamConfig) (*Ev
 		if rec != nil {
 			rec.Recycle(job.nc.Chunk)
 		}
+		// Release the chunk's backing-resource reference (mmap-backed
+		// rotated captures) after recycling, mirroring Pump.Done.
+		job.nc.ReleaseRef()
 		putChunkJob(job)
 		if err != nil {
 			return nil, err

@@ -81,26 +81,35 @@ func (e *Engine) viewHint(pl *streamPlan) (netpkt.DecodeHint, bool) {
 
 // enableViews switches the source onto lazy view chunks when the plan
 // permits it, recording the decision on the pass. It must run before the
-// first chunk is pulled. Hooked runs stay eager — the ChunkUpdate
-// callback contract exposes the chunk's decoded Packets — and lazy runs
-// demote the sink to a single shard, because the shard router partitions
-// on eagerly decoded packets.
+// first chunk is pulled. Hooked runs stay eager unless the hook declares
+// itself view-aware (StreamHooks.AcceptViews) — the classic ChunkUpdate
+// callback contract exposes the chunk's decoded Packets. Sharded lazy
+// runs keep their lanes: the router partitions on PacketView.Tuple, and
+// forcing the header predecode onto the source goroutine makes the
+// router's tuple reads and the lanes' summary reads side-effect-free
+// (PacketView lazily mutates itself through read accessors otherwise).
 func (r *streamExec) enableViews(src dataset.Source, cfg *StreamConfig) {
 	vs, ok := src.(dataset.ViewSource)
 	if !ok {
 		return
 	}
-	if cfg.Hooks.active() {
+	if cfg.Hooks.active() && !cfg.Hooks.AcceptViews {
 		vs.ConfigureViews(false, netpkt.DecodeHint{})
 		return
 	}
 	hint, ok := r.e.viewHint(r.pl)
-	if !ok || !vs.ConfigureViews(true, hint) {
+	if !ok {
+		vs.ConfigureViews(false, netpkt.DecodeHint{})
+		return
+	}
+	if cfg.shards() > 1 {
+		hint.Headers = true
+	}
+	if !vs.ConfigureViews(true, hint) {
 		vs.ConfigureViews(false, netpkt.DecodeHint{})
 		return
 	}
 	r.lazyViews = true
-	cfg.Shards = 1
 }
 
 // countDecode feeds the decode counters for one absorbed view chunk:

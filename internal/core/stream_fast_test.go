@@ -104,6 +104,9 @@ func TestStreamFastPathEquivalence(t *testing.T) {
 	shapes := []StreamConfig{
 		{ChunkRows: 64},
 		{ChunkRows: 64, PipelineDepth: 2, Workers: 2},
+		{ChunkRows: 64, PipelineDepth: 2, Workers: 2, Shards: 2},
+		{ChunkRows: 64, PipelineDepth: 2, Workers: 2, Shards: 4},
+		{ChunkRows: 64, PipelineDepth: 2, Workers: 2, Shards: 8},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -120,7 +123,7 @@ func TestStreamFastPathEquivalence(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, cfg := range shapes {
-				label := fmt.Sprintf("depth %d, workers %d", cfg.PipelineDepth, cfg.Workers)
+				label := fmt.Sprintf("depth %d, workers %d, shards %d", cfg.PipelineDepth, cfg.Workers, cfg.Shards)
 				es, err := dataset.NewPcapSource("mem.pcap", bytes.NewReader(raw), dataset.Packet)
 				if err != nil {
 					t.Fatal(err)
@@ -143,6 +146,9 @@ func TestStreamFastPathEquivalence(t *testing.T) {
 				}
 				if !eng.LastStream.LazyViews {
 					t.Fatalf("lazy run (%s) did not take the fast path", label)
+				}
+				if cfg.Shards > 1 && eng.LastStream.Shards != cfg.Shards {
+					t.Fatalf("lazy run (%s) folded the sink to %d shards", label, eng.LastStream.Shards)
 				}
 				requireEqualResults(t, want, got, tc.name+" "+label)
 			}
@@ -171,9 +177,12 @@ func TestStreamFastPathFlowOnly(t *testing.T) {
 	shapes := []StreamConfig{
 		{ChunkRows: 64},
 		{ChunkRows: 64, PipelineDepth: 2, Workers: 2},
+		{ChunkRows: 64, PipelineDepth: 2, Workers: 2, Shards: 2},
+		{ChunkRows: 64, PipelineDepth: 2, Workers: 2, Shards: 4},
+		{ChunkRows: 64, PipelineDepth: 2, Workers: 2, Shards: 8},
 	}
 	for _, cfg := range shapes {
-		label := fmt.Sprintf("depth %d, workers %d", cfg.PipelineDepth, cfg.Workers)
+		label := fmt.Sprintf("depth %d, workers %d, shards %d", cfg.PipelineDepth, cfg.Workers, cfg.Shards)
 		es, err := dataset.NewPcapSource("mem.pcap", bytes.NewReader(raw), dataset.Packet)
 		if err != nil {
 			t.Fatal(err)
@@ -197,14 +206,19 @@ func TestStreamFastPathFlowOnly(t *testing.T) {
 		if !eng.LastStream.LazyViews {
 			t.Fatalf("flow-only lazy run (%s) did not take the fast path", label)
 		}
+		if cfg.Shards > 1 && eng.LastStream.Shards != cfg.Shards {
+			t.Fatalf("flow-only lazy run (%s) folded the sink to %d shards", label, eng.LastStream.Shards)
+		}
 		requireEqualResults(t, want, got, "flow-only "+label)
 	}
 }
 
-// TestStreamFastPathShardsForcedSequentialSink: the shard router
-// partitions on eagerly decoded packets, so view mode must fold a
-// sharded request back to one lane rather than decode eagerly.
-func TestStreamFastPathShardsForcedSequentialSink(t *testing.T) {
+// TestStreamFastPathShardedLanes: the shard router partitions lazy
+// chunks on PacketView.Tuple(), so a sharded request keeps its lanes
+// under view mode instead of folding back to one — and the predecode
+// hint forces header decoding on the source goroutine so the lanes
+// read the views concurrently without mutating them.
+func TestStreamFastPathShardedLanes(t *testing.T) {
 	spec, _ := dataset.Get("P0")
 	ds := spec.Generate(0.05)
 	raw := captureBytes(t, ds)
@@ -224,8 +238,51 @@ func TestStreamFastPathShardsForcedSequentialSink(t *testing.T) {
 	if !eng.LastStream.LazyViews {
 		t.Fatal("fast path should engage")
 	}
-	if eng.LastStream.Shards != 1 {
-		t.Fatalf("Shards = %d, want 1 under lazy views", eng.LastStream.Shards)
+	if eng.LastStream.Shards != 4 {
+		t.Fatalf("Shards = %d, want 4: lazy views must flow through the sharded sink", eng.LastStream.Shards)
+	}
+}
+
+// TestStreamFastPathHooksAcceptViews: a hook that declares itself
+// view-aware (StreamHooks.AcceptViews) keeps the fast path engaged and
+// receives lazy views in ChunkUpdate.Views with Packets nil.
+func TestStreamFastPathHooksAcceptViews(t *testing.T) {
+	spec, _ := dataset.Get("P0")
+	ds := spec.Generate(0.05)
+	raw := captureBytes(t, ds)
+	p := fieldPipeline()
+	eng := NewEngine(p)
+	eng.Seed = 7
+	if err := eng.Train(ds); err != nil {
+		t.Fatal(err)
+	}
+	src, err := dataset.NewPcapSource("mem.pcap", bytes.NewReader(raw), dataset.Packet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nviews, npkts int
+	cfg := StreamConfig{
+		ChunkRows: 64,
+		Hooks: &StreamHooks{
+			AcceptViews: true,
+			AfterChunk: func(up ChunkUpdate) error {
+				nviews += len(up.Views)
+				npkts += len(up.Packets)
+				return nil
+			},
+		},
+	}
+	if _, err := eng.RunStream(src, ModeTest, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.LastStream.LazyViews {
+		t.Fatal("view-aware hooks must keep the fast path engaged")
+	}
+	if npkts != 0 {
+		t.Fatalf("hook saw %d eager packets on the view path", npkts)
+	}
+	if nviews != len(ds.Packets) {
+		t.Fatalf("hook saw %d views, want %d", nviews, len(ds.Packets))
 	}
 }
 

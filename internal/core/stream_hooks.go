@@ -22,6 +22,13 @@ type ChunkUpdate struct {
 	// buffers afterwards, so callbacks must not retain the slice or
 	// anything aliasing the packets' Data/Payload.
 	Packets []*netpkt.Packet
+	// Views are the chunk's lazy packet views when the pass rides the
+	// zero-copy decode fast path under a view-aware hook
+	// (StreamHooks.AcceptViews); Packets is nil then. The same lifetime
+	// rules apply — and more strictly: view bytes may alias a memory
+	// mapping that unmaps once the chunk is released, so copy anything
+	// (e.g. a PacketSummary) that must outlive the callback.
+	Views []netpkt.PacketView
 	// Results are the evaluation results streamed test-mode scoring
 	// produced for this chunk, in op order. Empty on training passes, on
 	// chunks with no scored rows, and on pipelines whose scoring is
@@ -64,6 +71,12 @@ type StreamHooks struct {
 	// consumer can maintain a retraining reservoir without re-deriving
 	// the feature pipeline.
 	WantFeatures bool
+	// AcceptViews declares the AfterChunk callback view-aware: when the
+	// plan qualifies for the zero-copy decode fast path, the pass takes
+	// it and ChunkUpdate carries Views instead of Packets. Hooks without
+	// it pin the pass to eager decoding, preserving the classic
+	// Packets-only callback contract.
+	AcceptViews bool
 }
 
 // active reports whether any callback is set.
@@ -80,6 +93,7 @@ func (r *streamExec) afterChunk(job *chunkJob) error {
 		Seq:     job.nc.Seq,
 		Base:    job.nc.Base,
 		Packets: job.nc.Packets,
+		Views:   job.nc.Views,
 		Results: job.results,
 		Drift:   job.drift,
 	}

@@ -130,9 +130,13 @@ func newFlowSinkStates(e *Engine, pl *streamPlan) (map[int]*flowSinkState, error
 // be handed back for buffer reuse: nothing retained across chunks may
 // alias the chunk's packets. Accumulated frames are copies, but the full
 // packet set (needPackets) and any accumulated packet-kind value alias
-// the chunk directly, so either disables recycling.
+// the chunk directly, so either disables recycling. The one needPackets
+// shape that recycles anyway is a flow-only plan on the lazy view path:
+// it retains PacketSummary value copies, never the views themselves, so
+// the chunk owns nothing that outlives its release. Call only after
+// enableViews settled the pass's decode mode.
 func (r *streamExec) recycler(src dataset.Source) dataset.Recycler {
-	if r.pl.needPackets {
+	if r.pl.needPackets && !(r.pl.flowOnly && r.lazyViews) {
 		return nil
 	}
 	for i, op := range r.e.P.Ops {

@@ -166,17 +166,25 @@ func (r *streamExec) startShards(shards, queue int, pump *dataset.Pump, done cha
 }
 
 // route handles one in-order job on the router: cross-flow ordered ops,
-// packet→lane hashing, row partitioning and dispatch. Every job — even
-// failed or post-abort ones — is forwarded to the merger, which owns
-// release.
+// packet→lane hashing, row partitioning and dispatch. On the lazy view
+// path of flow-only plans the router also accumulates each packet's
+// summary (in stream order — the lanes feed themselves, so feedSinks
+// never runs here) for the flush-time flow-feature pass. Every job —
+// even failed or post-abort ones — is forwarded to the merger, which
+// owns release.
 func (s *shardRun) route(j *chunkJob) {
 	if j.err == nil && !s.aborted.Load() {
+		if len(s.r.sinks) > 0 && len(j.nc.Views) > 0 {
+			for vi := range j.nc.Views {
+				s.r.accSums = append(s.r.accSums, j.nc.Views[vi].Summary())
+			}
+		}
 		if s.r.pl.nOrdered > s.r.pl.nLane {
 			var cs *obs.Span
 			if s.sinkSpan != nil {
 				cs = s.sinkSpan.Child("chunk")
 				cs.Set("base", j.nc.Base)
-				cs.Set("rows", len(j.nc.Packets))
+				cs.Set("rows", j.nc.Len())
 			}
 			s.r.runOps(j, s.r.pl.routerOrdered, s.r.sc, cs)
 			if cs != nil {
@@ -242,7 +250,7 @@ func (s *shardRun) partition(j *chunkJob, fr *Frame) bool {
 	if fr.Unit != UnitPacket || (fr.N > 0 && fr.UnitIdx == nil) {
 		return false
 	}
-	K, n := len(s.lanes), len(j.nc.Packets)
+	K, n := len(s.lanes), j.nc.Len()
 	if cap(j.laneRows) < K {
 		j.laneRows = make([][]int, K)
 	} else {
@@ -281,7 +289,11 @@ func (ln *shardLane) run(s *shardRun) {
 }
 
 // process does lane k's share of one job: feed its packets to its flow
-// assemblers, score its rows through its model replica.
+// assemblers, score its rows through its model replica. Lazy chunks feed
+// the assemblers PacketSummary values built from the views — safe
+// concurrently because headers were predecoded on the source goroutine
+// (enableViews forces the hint for sharded lazy runs) and each view
+// element belongs to exactly one lane.
 func (ln *shardLane) process(s *shardRun, j *chunkJob) {
 	if s.aborted.Load() {
 		return
@@ -291,19 +303,37 @@ func (ln *shardLane) process(s *shardRun, j *chunkJob) {
 			ln.packets++
 		}
 	}
-	for i := range s.r.e.P.Ops {
-		fs, ok := ln.sinks[i]
-		if !ok {
-			continue
+	if j.nc.Views != nil {
+		if len(ln.sinks) > 0 {
+			for pi := range j.nc.Views {
+				if int(j.shardIDs[pi]) != ln.k {
+					continue
+				}
+				sum := j.nc.Views[pi].Summary()
+				for _, fs := range ln.sinks {
+					if fs.uni != nil {
+						fs.unis = append(fs.unis, fs.uni.AddSummary(j.nc.Base+pi, sum)...)
+					} else {
+						fs.cons = append(fs.cons, fs.conn.AddSummary(j.nc.Base+pi, sum)...)
+					}
+				}
+			}
 		}
-		for pi, p := range j.nc.Packets {
-			if int(j.shardIDs[pi]) != ln.k {
+	} else {
+		for i := range s.r.e.P.Ops {
+			fs, ok := ln.sinks[i]
+			if !ok {
 				continue
 			}
-			if fs.uni != nil {
-				fs.unis = append(fs.unis, fs.uni.Add(j.nc.Base+pi, p)...)
-			} else {
-				fs.cons = append(fs.cons, fs.conn.Add(j.nc.Base+pi, p)...)
+			for pi, p := range j.nc.Packets {
+				if int(j.shardIDs[pi]) != ln.k {
+					continue
+				}
+				if fs.uni != nil {
+					fs.unis = append(fs.unis, fs.uni.Add(j.nc.Base+pi, p)...)
+				} else {
+					fs.cons = append(fs.cons, fs.conn.Add(j.nc.Base+pi, p)...)
+				}
 			}
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"lumen/internal/flow"
 	"lumen/internal/mlkit"
 	"lumen/internal/obs"
+	"lumen/internal/pcap"
 )
 
 // ErrStopped is returned by control calls (Swap, Promote, Rollback,
@@ -144,6 +145,9 @@ type PipeStatus struct {
 	Verdicts int64 `json:"verdicts"`
 	Alerts   int64 `json:"alerts"`
 	Reloads  int64 `json:"reloads"`
+	// DecodeMode reports how the source reads and decodes ("mmap+lazy",
+	// "buffered", "idle", ...), for sources that expose it.
+	DecodeMode string `json:"decode_mode,omitempty"`
 	// ModelGeneration is the active model's generation (1 = initial).
 	ModelGeneration int `json:"model_generation"`
 	// Shadowing reports an in-progress hot swap, with its live divergence.
@@ -232,7 +236,7 @@ type Pipe struct {
 
 	mChunks, mPackets, mVerdicts, mAlerts *obs.Counter
 	mPasses, mReloads, mDrift             *obs.Counter
-	mState, mGen, mShadowing              *obs.Gauge
+	mState, mGen, mShadowing, mMaps       *obs.Gauge
 }
 
 // newPipe validates cfg and builds the pipeline without starting it.
@@ -272,7 +276,10 @@ func (d *Daemon) newPipe(cfg PipeConfig) (*Pipe, error) {
 		state:         StateRunning,
 		retrain:       cfg.Retrain,
 	}
-	p.stream.Hooks = &core.StreamHooks{AfterChunk: p.afterChunk}
+	// AcceptViews lets watch/replay sources that serve lazy view chunks
+	// keep the zero-copy decode fast path: afterChunk feeds the conn-log
+	// assembler per-packet summaries built from the views.
+	p.stream.Hooks = &core.StreamHooks{AfterChunk: p.afterChunk, AcceptViews: true}
 	if cfg.Retrain.Enabled {
 		p.stream.Hooks.WantFeatures = true
 		p.res = newRetrainRes(cfg.Retrain.cap(), cfg.Retrain.Seed)
@@ -297,6 +304,7 @@ func (d *Daemon) newPipe(cfg PipeConfig) (*Pipe, error) {
 	p.mState = m.Gauge("lumen_daemon_pipeline_state", "Lifecycle state (0 running, 1 draining, 2 stopped, 3 failed).", lbl...)
 	p.mGen = m.Gauge("lumen_daemon_model_generation", "Active model generation, per pipeline.", lbl...)
 	p.mShadowing = m.Gauge("lumen_daemon_swap_shadowing", "1 while a hot swap is shadow-scoring.", lbl...)
+	p.mMaps = m.Gauge("lumen_mmap_open_mappings", "Process-wide live pcap memory mappings (refcounted; drops to baseline when every in-flight chunk is released).")
 	p.mState.Set(float64(StateRunning))
 	p.mGen.Set(float64(handle.Generation()))
 	return p, nil
@@ -386,6 +394,7 @@ func (p *Pipe) finalize() {
 	if err := p.flushAlerts(); err != nil {
 		p.recordErr(err)
 	}
+	p.mMaps.Set(float64(pcap.OpenMappings()))
 	for {
 		select {
 		case m := <-p.ctrl:
@@ -429,18 +438,33 @@ func (p *Pipe) afterChunk(up core.ChunkUpdate) error {
 	if err := p.flushAlerts(); err != nil {
 		return err
 	}
+	npkts := len(up.Packets)
+	if up.Views != nil {
+		npkts = len(up.Views)
+	}
 	if p.conn != nil {
-		for i, pkt := range up.Packets {
-			if evicted := p.conn.Add(p.pktIdx+i, pkt); len(evicted) > 0 {
-				p.connDone = append(p.connDone, evicted...)
+		if up.Views != nil {
+			// Lazy fast path: feed value-copied summaries — the view bytes
+			// may alias a mapping that unmaps once the chunk is released.
+			for i := range up.Views {
+				if evicted := p.conn.AddSummary(p.pktIdx+i, up.Views[i].Summary()); len(evicted) > 0 {
+					p.connDone = append(p.connDone, evicted...)
+				}
+			}
+		} else {
+			for i, pkt := range up.Packets {
+				if evicted := p.conn.Add(p.pktIdx+i, pkt); len(evicted) > 0 {
+					p.connDone = append(p.connDone, evicted...)
+				}
 			}
 		}
 	}
-	p.pktIdx += len(up.Packets)
+	p.pktIdx += npkts
 	p.chunks.Add(1)
-	p.packets.Add(int64(len(up.Packets)))
+	p.packets.Add(int64(npkts))
 	p.mChunks.Inc()
-	p.mPackets.Add(uint64(len(up.Packets)))
+	p.mPackets.Add(uint64(npkts))
+	p.mMaps.Set(float64(pcap.OpenMappings()))
 	p.observeDrift(up)
 	p.pumpCtrl()
 	p.updateSwap()
@@ -759,6 +783,9 @@ func (p *Pipe) Status() PipeStatus {
 	st.Verdicts = p.verdicts.Load()
 	st.Alerts = p.alerts.Load()
 	st.Reloads = p.reloads.Load()
+	if dm, ok := p.src.(interface{ DecodeMode() string }); ok {
+		st.DecodeMode = dm.DecodeMode()
+	}
 	st.ModelGeneration = p.handle.Generation()
 	st.Shadowing = p.handle.Shadowing()
 	if st.Shadowing {

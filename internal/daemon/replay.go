@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"lumen/internal/dataset"
+	"lumen/internal/netpkt"
 )
 
 // ReplaySource replays a finite inner source (pcap file, in-memory
@@ -67,6 +68,25 @@ func (r *replayLabeled) Labeled() *dataset.Labeled { return r.l.Labeled() }
 // Meta implements dataset.Source.
 func (s *ReplaySource) Meta() dataset.SourceMeta { return s.inner.Meta() }
 
+// ConfigureViews implements dataset.ViewSource by forwarding to the
+// inner source, so a replayed capture rides the zero-copy decode fast
+// path exactly like direct ingest. Inner sources without view support
+// refuse the request.
+func (s *ReplaySource) ConfigureViews(on bool, hint netpkt.DecodeHint) bool {
+	if vs, ok := s.inner.(dataset.ViewSource); ok {
+		return vs.ConfigureViews(on, hint)
+	}
+	return false
+}
+
+// DecodeMode surfaces the inner source's decode mode when it reports one.
+func (s *ReplaySource) DecodeMode() string {
+	if dm, ok := s.inner.(interface{ DecodeMode() string }); ok {
+		return dm.DecodeMode()
+	}
+	return ""
+}
+
 // Next implements dataset.Source: it forwards to the inner source,
 // sleeping first so the chunk's first packet lands on the replay
 // timeline. Drain interrupts the sleep (the chunk is still delivered;
@@ -85,8 +105,13 @@ func (s *ReplaySource) Next(maxRows, maxBytes int) (dataset.Chunk, bool) {
 	s.mu.Lock()
 	s.emitted = true
 	wait := s.delay
-	if s.speed > 0 && len(ck.Packets) > 0 {
-		first := ck.Packets[0].Ts
+	if s.speed > 0 && ck.Len() > 0 {
+		var first time.Time
+		if len(ck.Packets) > 0 {
+			first = ck.Packets[0].Ts
+		} else {
+			first = ck.Views[0].Ts
+		}
 		if !s.started {
 			s.started = true
 			s.wall0 = time.Now()

@@ -229,7 +229,7 @@ func TestFeedSourceBadFrame(t *testing.T) {
 }
 
 // writePcap writes pkts as a pcap file.
-func writePcap(t *testing.T, path string, link netpkt.LinkType, pkts []*netpkt.Packet) {
+func writePcap(t testing.TB, path string, link netpkt.LinkType, pkts []*netpkt.Packet) {
 	t.Helper()
 	f, err := os.Create(path)
 	if err != nil {
@@ -278,6 +278,9 @@ func TestDirSource(t *testing.T) {
 		}
 	}
 	pull(60)
+	if got := src.DecodeMode(); got != "buffered" {
+		t.Fatalf("eager watch DecodeMode = %q, want buffered", got)
+	}
 	// A capture rotated in after the watch started is picked up too.
 	writePcap(t, filepath.Join(dir, "trace-002.pcap"), ds.Link, ds.Packets[60:80])
 	pull(80)
@@ -292,5 +295,81 @@ func TestDirSource(t *testing.T) {
 	}
 	if err := src.Reset(); err == nil {
 		t.Fatal("directory watches must reject Reset")
+	}
+}
+
+// TestDirSourceViewsRotationUnderLoad pins the refcounted-mapping
+// contract of view-mode watch ingest: chunks cut from a mapped capture
+// stay valid while the file is deleted out from under the watch AND the
+// per-file reader is closed, and the mapping unmaps only when the last
+// in-flight chunk releases its reference.
+func TestDirSourceViewsRotationUnderLoad(t *testing.T) {
+	ds := testDS(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace-000.pcap")
+	writePcap(t, path, ds.Link, ds.Packets[:40])
+	n0 := pcap.OpenMappings()
+	src := NewDirSource("watch", dir, "*.pcap", dataset.Packet, ds.Link, 5*time.Millisecond)
+	if !src.ConfigureViews(true, netpkt.DecodeHint{Headers: true}) {
+		t.Fatal("watch must honour the view request")
+	}
+	if got := src.DecodeMode(); got != "idle" {
+		t.Fatalf("DecodeMode before ingest = %q, want idle", got)
+	}
+	var live []dataset.Chunk
+	count := 0
+	for count < 40 {
+		ck, ok := src.Next(8, 0)
+		if !ok {
+			t.Fatalf("stream ended at %d of 40 packets (err %v)", count, src.Err())
+		}
+		if len(ck.Packets) != 0 {
+			t.Fatal("view-mode watch must emit views, not packets")
+		}
+		if ck.Len() > 0 && ck.Ref == nil {
+			t.Fatal("view chunks must carry a mapping reference")
+		}
+		count += ck.Len()
+		live = append(live, ck)
+	}
+	if got := src.DecodeMode(); got != "mmap+lazy" {
+		t.Fatalf("DecodeMode = %q, want mmap+lazy", got)
+	}
+	if got := pcap.OpenMappings(); got != n0+1 {
+		t.Fatalf("live mappings = %d, want %d", got, n0+1)
+	}
+	// Rotate the file away while every chunk is still in flight, then
+	// drain the watch (which closes the per-file reader). The mapping
+	// must survive both: the kernel keeps mapped pages past unlink, and
+	// the chunks' references keep it past the reader's Close.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	src.Drain()
+	for {
+		if _, ok := src.Next(8, 0); !ok {
+			break
+		}
+	}
+	if got := pcap.OpenMappings(); got != n0+1 {
+		t.Fatalf("mapping dropped with chunks in flight: %d live, want %d", got, n0+1)
+	}
+	sum := 0
+	for _, ck := range live {
+		for i := range ck.Views {
+			for _, b := range ck.Views[i].Data {
+				sum += int(b)
+			}
+		}
+	}
+	if sum == 0 {
+		t.Fatal("mapped bytes unreadable after rotation")
+	}
+	for _, ck := range live {
+		src.Recycle(ck)
+		ck.ReleaseRef()
+	}
+	if got := pcap.OpenMappings(); got != n0 {
+		t.Fatalf("mappings after release = %d, want baseline %d", got, n0)
 	}
 }

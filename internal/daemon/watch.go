@@ -2,6 +2,7 @@ package daemon
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -10,6 +11,7 @@ import (
 
 	"lumen/internal/dataset"
 	"lumen/internal/netpkt"
+	"lumen/internal/pcap"
 )
 
 // DirSource ingests rotated capture files from a watched directory: it
@@ -17,9 +19,19 @@ import (
 // hold still across one poll interval (the rotation-complete heuristic),
 // then streams it as pcap chunks with packet indices rebased to one
 // continuous stream across files. Files are processed once each, in
-// lexical name order per scan — name rotated captures sortably
+// lexical name order — name rotated captures sortably
 // (trace-000017.pcap). DirSource is not resettable; a watch has no
 // beginning to rewind to.
+//
+// When the consumer opts into lazy view chunks (ConfigureViews), each
+// file is memory-mapped and served over the zero-copy decode fast path:
+// every chunk holds a reference on its file's mapping (Chunk.Ref), so
+// the mapping stays valid until the last in-flight chunk is released —
+// even after the file's reader is closed, and even if the file itself
+// is deleted mid-flight (the kernel keeps mapped pages alive past
+// unlink). Eager consumers retain decoded packets beyond chunk release,
+// which a deferred unmap cannot anchor, so the watch falls back to
+// buffered reads (pooled copies) for them.
 type DirSource struct {
 	name string
 	dir  string
@@ -31,16 +43,24 @@ type DirSource struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 
+	// pool is shared across the per-file sources so decode buffers keep
+	// recycling across file boundaries.
+	pool *pcap.BufferPool
+
 	// Single-consumer state: Next runs on one goroutine.
-	seen    map[string]bool
+	known   map[string]bool // every path ever queued for ingest
+	waiting []string        // discovered but not yet size-stable, sorted
 	sizes   map[string]int64
 	cur     *dataset.PcapSource
 	curf    *os.File
 	base    int
 	emitted bool
+	view    bool
+	hint    netpkt.DecodeHint
 
-	mu  sync.Mutex
-	err error
+	mu   sync.Mutex
+	err  error
+	mode string
 }
 
 // NewDirSource watches dir for files matching glob (e.g. "*.pcap"),
@@ -59,7 +79,8 @@ func NewDirSource(name, dir, glob string, gran dataset.Granularity, link netpkt.
 		link:  link,
 		poll:  poll,
 		stop:  make(chan struct{}),
-		seen:  map[string]bool{},
+		pool:  pcap.NewBufferPool(),
+		known: map[string]bool{},
 		sizes: map[string]int64{},
 	}
 }
@@ -69,6 +90,27 @@ func (s *DirSource) Meta() dataset.SourceMeta {
 	return dataset.SourceMeta{Name: s.name, Granularity: s.gran, Link: s.link}
 }
 
+// ConfigureViews implements dataset.ViewSource: with on=true, files are
+// memory-mapped and chunks carry lazy PacketViews with a retained
+// mapping reference each (see the type comment). Configure before the
+// first Next call.
+func (s *DirSource) ConfigureViews(on bool, hint netpkt.DecodeHint) bool {
+	s.view, s.hint = on, hint
+	return true
+}
+
+// DecodeMode reports how the watch currently reads and decodes, for
+// operator surfaces: "idle" before the first file opens, then the
+// current file source's mode ("mmap+lazy", "buffered", ...).
+func (s *DirSource) DecodeMode() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mode == "" {
+		return "idle"
+	}
+	return s.mode
+}
+
 // Next implements dataset.Source: it drains the current file, then polls
 // for the next size-stable one. The stream ends on Drain or on the first
 // unreadable file (surfaced via Err).
@@ -76,25 +118,21 @@ func (s *DirSource) Next(maxRows, maxBytes int) (dataset.Chunk, bool) {
 	for {
 		select {
 		case <-s.stop:
-			if s.curf != nil {
-				s.curf.Close()
-				s.cur, s.curf = nil, nil
-			}
+			s.closeCurrent()
 			return s.endStream()
 		default:
 		}
 		if s.cur != nil {
 			ck, ok := s.cur.Next(maxRows, maxBytes)
 			if ok {
-				n := len(ck.Packets)
+				n := ck.Len()
 				ck.Base = s.base
 				s.base += n
 				s.emitted = true
 				return ck, true
 			}
 			err := s.cur.Err()
-			s.curf.Close()
-			s.cur, s.curf = nil, nil
+			s.closeCurrent()
 			if err != nil {
 				s.setErr(err)
 				return s.endStream()
@@ -116,38 +154,57 @@ func (s *DirSource) Next(maxRows, maxBytes int) (dataset.Chunk, bool) {
 }
 
 // scan returns the next unprocessed file whose size held still since the
-// previous scan, recording sizes for files still growing.
+// previous scan. Discovery is incremental: paths already queued or
+// consumed (known) are skipped, and only genuinely new matches trigger a
+// re-sort of the small waiting list — the glob result itself is never
+// re-sorted or re-stat'd wholesale every tick.
 func (s *DirSource) scan() string {
 	matches, err := filepath.Glob(filepath.Join(s.dir, s.glob))
 	if err != nil {
 		s.setErr(fmt.Errorf("daemon: watch %q: %w", s.name, err))
 		return ""
 	}
-	sort.Strings(matches)
+	grew := false
 	for _, path := range matches {
-		if s.seen[path] {
-			continue
+		if !s.known[path] {
+			s.known[path] = true
+			s.waiting = append(s.waiting, path)
+			grew = true
 		}
+	}
+	if grew {
+		sort.Strings(s.waiting)
+	}
+	for i := 0; i < len(s.waiting); {
+		path := s.waiting[i]
 		fi, err := os.Stat(path)
-		if err != nil || fi.IsDir() {
+		switch {
+		case os.IsNotExist(err) || (err == nil && fi.IsDir()):
+			// Vanished before ingest, or a directory: drop for good.
+			s.waiting = append(s.waiting[:i], s.waiting[i+1:]...)
+			delete(s.sizes, path)
+			continue
+		case err != nil:
+			// Transient stat failure: retry on the next tick.
+			i++
 			continue
 		}
 		if prev, ok := s.sizes[path]; ok && prev == fi.Size() {
-			s.seen[path] = true
+			s.waiting = append(s.waiting[:i], s.waiting[i+1:]...)
 			delete(s.sizes, path)
 			return path
 		}
 		s.sizes[path] = fi.Size()
+		i++
 	}
 	return ""
 }
 
-// bufferedFile hides the *os.File concrete type from NewPcapSource's
-// mmap detection. A directory watch hands chunks downstream that can
-// outlive each rotated file's reader, so there is no point in the watch
-// loop where releasing a memory mapping (PcapSource.Close) would be
-// safe; buffered reads copy record bytes into pooled buffers, which
-// carry no such lifetime constraint.
+// bufferedFile hides the *os.File concrete type from the pcap source's
+// mmap detection. Eager consumers retain decoded packets past chunk
+// release, so even refcounted mappings would unmap under live bytes;
+// buffered reads copy record bytes into pooled buffers, which carry no
+// such lifetime constraint.
 type bufferedFile struct{ *os.File }
 
 // open starts streaming one capture file.
@@ -156,13 +213,59 @@ func (s *DirSource) open(path string) error {
 	if err != nil {
 		return fmt.Errorf("daemon: watch %q: %w", s.name, err)
 	}
-	src, err := dataset.NewPcapSource(filepath.Base(path), bufferedFile{f}, s.gran)
+	var rs io.ReadSeeker = f
+	if !s.view {
+		rs = bufferedFile{f}
+	}
+	src, err := dataset.NewPcapSourcePooled(filepath.Base(path), rs, s.gran, s.pool)
 	if err != nil {
 		f.Close()
 		return fmt.Errorf("daemon: watch %q: %s: %w", s.name, filepath.Base(path), err)
 	}
+	src.ConfigureViews(s.view, s.hint)
+	src.EnableChunkRefs()
 	s.cur, s.curf = src, f
+	s.mu.Lock()
+	s.mode = src.DecodeMode()
+	s.mu.Unlock()
 	return nil
+}
+
+// closeCurrent drops the current file's reader (releasing its owner
+// reference on the mapping — in-flight chunks keep their own) and its
+// descriptor.
+func (s *DirSource) closeCurrent() {
+	if s.cur != nil {
+		s.cur.Close()
+	}
+	if s.curf != nil {
+		s.curf.Close()
+	}
+	s.cur, s.curf = nil, nil
+}
+
+// Recycle implements dataset.Recycler against the watch's shared pool,
+// so chunks recycle even after the file they were cut from drained and
+// its per-file source was closed. Chunks holding a mapping reference
+// (view mode) alias the mapping and never pool their bytes; buffered
+// chunks return data buffers and slices both.
+func (s *DirSource) Recycle(ck dataset.Chunk) {
+	zc := ck.Ref != nil
+	if ck.Views != nil {
+		if !zc {
+			for i := range ck.Views {
+				s.pool.PutData(ck.Views[i].Data)
+			}
+		}
+		s.pool.PutViews(ck.Views)
+		return
+	}
+	if !zc {
+		for _, pkt := range ck.Packets {
+			s.pool.PutData(pkt.Data)
+		}
+	}
+	s.pool.PutPkts(ck.Packets)
 }
 
 // endStream honors the at-least-one-chunk contract on first end.

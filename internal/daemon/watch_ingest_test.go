@@ -1,0 +1,104 @@
+package daemon
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"lumen/internal/core"
+	"lumen/internal/dataset"
+	"lumen/internal/obs"
+	"lumen/internal/pcap"
+)
+
+// eagerWatch hides DirSource's ViewSource capability, pinning a
+// pipeline to the eager buffered path — the baseline the lazy mmap run
+// must match bit for bit.
+type eagerWatch struct{ inner *DirSource }
+
+func (w eagerWatch) Meta() dataset.SourceMeta                   { return w.inner.Meta() }
+func (w eagerWatch) Next(rows, bytes int) (dataset.Chunk, bool) { return w.inner.Next(rows, bytes) }
+func (w eagerWatch) Reset() error                               { return w.inner.Reset() }
+func (w eagerWatch) Drain()                                     { w.inner.Drain() }
+func (w eagerWatch) Err() error                                 { return w.inner.Err() }
+func (w eagerWatch) DecodeMode() string                         { return w.inner.DecodeMode() }
+
+// writeRotated splits ds into three rotated capture files under dir.
+func writeRotated(t *testing.T, dir string, ds *dataset.Labeled) {
+	t.Helper()
+	n := len(ds.Packets)
+	writePcap(t, filepath.Join(dir, "trace-000.pcap"), ds.Link, ds.Packets[:n/3])
+	writePcap(t, filepath.Join(dir, "trace-001.pcap"), ds.Link, ds.Packets[n/3:2*n/3])
+	writePcap(t, filepath.Join(dir, "trace-002.pcap"), ds.Link, ds.Packets[2*n/3:])
+}
+
+// TestWatchIngestLazyEquivalence is the daemon acceptance bar for the
+// zero-copy watch fast path: the same rotated captures ingested once
+// eagerly (buffered) and once over mmap+lazy views produce identical
+// verdicts and a bit-identical conn-log, the lazy pipeline reports
+// decode mode "mmap+lazy" in its status, and draining the daemon
+// returns the live-mapping gauge to its baseline.
+func TestWatchIngestLazyEquivalence(t *testing.T) {
+	ds := testDS(t)
+	total := int64(len(ds.Packets))
+	n0 := pcap.OpenMappings()
+
+	run := func(name string, lazy bool) ([]Alert, []byte, PipeStatus) {
+		dir := t.TempDir()
+		writeRotated(t, dir, ds)
+		watch := NewDirSource(name, dir, "*.pcap", dataset.Packet, ds.Link, 5*time.Millisecond)
+		var src dataset.Source = watch
+		if !lazy {
+			src = eagerWatch{inner: watch}
+		}
+		d := New(Config{Metrics: obs.NewMetrics()})
+		var alerts, connlog bytes.Buffer
+		p, err := d.Start(PipeConfig{
+			Name:    name,
+			Engine:  trainedEngine(t, ds),
+			Source:  src,
+			Stream:  core.StreamConfig{ChunkRows: 64, PipelineDepth: 2, Workers: 2},
+			Alerts:  &alerts,
+			ConnLog: &connlog,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, 10*time.Second, name+" to ingest the captures", func() bool {
+			return p.Status().Packets >= total
+		})
+		if err := p.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		return parseAlerts(t, alerts.Bytes()), connlog.Bytes(), p.Status()
+	}
+
+	eagerAlerts, eagerLog, eagerSt := run("watch-eager", false)
+	if eagerSt.DecodeMode != "buffered" {
+		t.Fatalf("eager decode mode = %q, want buffered", eagerSt.DecodeMode)
+	}
+	lazyAlerts, lazyLog, lazySt := run("watch-lazy", true)
+	if lazySt.DecodeMode != "mmap+lazy" {
+		t.Fatalf("lazy decode mode = %q, want mmap+lazy", lazySt.DecodeMode)
+	}
+	if got := pcap.OpenMappings(); got != n0 {
+		t.Fatalf("live mappings after drain = %d, want baseline %d", got, n0)
+	}
+
+	if !bytes.Equal(eagerLog, lazyLog) {
+		t.Fatalf("conn-log differs between eager and lazy watch: %d vs %d bytes", len(eagerLog), len(lazyLog))
+	}
+	if len(eagerAlerts) != len(lazyAlerts) {
+		t.Fatalf("alert lines: eager %d, lazy %d", len(eagerAlerts), len(lazyAlerts))
+	}
+	for i := range eagerAlerts {
+		e, l := eagerAlerts[i], lazyAlerts[i]
+		if e.Pred != l.Pred || e.Seq != l.Seq || e.Index != l.Index || e.Unit != l.Unit {
+			t.Fatalf("alert %d diverges: eager %+v, lazy %+v", i, e, l)
+		}
+	}
+	if eagerSt.Verdicts != lazySt.Verdicts || eagerSt.Packets != lazySt.Packets {
+		t.Fatalf("counters diverge: eager %+v, lazy %+v", eagerSt, lazySt)
+	}
+}

@@ -32,6 +32,9 @@ type PcapSource struct {
 	// view/hint select lazy PacketView chunks (ConfigureViews).
 	view bool
 	hint netpkt.DecodeHint
+	// refs: every emitted zero-copy chunk retains a reference on the file
+	// mapping (EnableChunkRefs), so chunks stay valid past Close.
+	refs bool
 	// emitted tracks the at-least-one-chunk contract for empty captures.
 	emitted bool
 	done    bool
@@ -45,6 +48,15 @@ type PcapSource struct {
 // fully process a chunk without retaining its packets may hand it back
 // with Recycle, and the decoder reuses the buffers for later chunks.
 func NewPcapSource(name string, rs io.ReadSeeker, gran Granularity) (*PcapSource, error) {
+	return NewPcapSourcePooled(name, rs, gran, pcap.NewBufferPool())
+}
+
+// NewPcapSourcePooled opens a capture like NewPcapSource, but drawing
+// decode buffers from the caller's pool instead of a private one. A
+// rotated-capture watch streams many per-file sources back to back;
+// sharing one pool across them keeps chunk buffers recycling across file
+// boundaries.
+func NewPcapSourcePooled(name string, rs io.ReadSeeker, gran Granularity, pool *pcap.BufferPool) (*PcapSource, error) {
 	var r *pcap.Reader
 	if f, ok := rs.(*os.File); ok {
 		if mr, err := pcap.OpenMmap(f); err == nil {
@@ -58,9 +70,22 @@ func NewPcapSource(name string, rs io.ReadSeeker, gran Granularity) (*PcapSource
 			return nil, err
 		}
 	}
-	pool := pcap.NewBufferPool()
 	r.SetBufferPool(pool)
 	return &PcapSource{name: name, rs: rs, r: r, gran: gran, pool: pool}, nil
+}
+
+// EnableChunkRefs makes every non-empty chunk of an mmap-backed source
+// carry a retained reference on the file mapping (Chunk.Ref), shifting
+// the unmap point from Close to the release of the last in-flight chunk:
+// Close then only drops the reader's owner reference, and consumers
+// release per-chunk refs via Chunk.ReleaseRef (dataset.Pump.Done does it
+// automatically). This is what lets a rotated-capture watch serve
+// zero-copy chunks that outlive each file's reader. It reports whether
+// refs are active — false on buffered sources, whose chunks own their
+// bytes and need no lifetime anchor.
+func (p *PcapSource) EnableChunkRefs() bool {
+	p.refs = p.r.ZeroCopy()
+	return p.refs
 }
 
 // ConfigureViews implements ViewSource: with on=true, Next emits chunks
@@ -89,9 +114,11 @@ func (p *PcapSource) DecodeMode() string {
 // (or anything aliasing its packets' Data/Payload) afterwards. Safe to
 // call concurrently with Next — a pipelined sink recycles chunks while
 // the source goroutine decodes ahead. In mmap mode the record bytes
-// alias the mapping and are never pooled — only the slices are.
+// alias the mapping and are never pooled — only the slices are. A chunk
+// carrying a mapping ref is zero-copy by construction, even when the
+// reader has been closed since it was cut (rotated captures).
 func (p *PcapSource) Recycle(ck Chunk) {
-	zc := p.r.ZeroCopy()
+	zc := ck.Ref != nil || p.r.ZeroCopy()
 	if ck.Views != nil {
 		if !zc {
 			for i := range ck.Views {
@@ -110,8 +137,10 @@ func (p *PcapSource) Recycle(ck Chunk) {
 }
 
 // Close releases the memory mapping of an mmap-backed source (a no-op
-// for buffered ones). Every outstanding chunk's data becomes invalid; it
-// does not close the stream handed to NewPcapSource.
+// for buffered ones). Without chunk refs every outstanding chunk's data
+// becomes invalid; with EnableChunkRefs only the owner reference drops,
+// and in-flight chunks keep the mapping alive until their own release.
+// It does not close the stream handed to NewPcapSource.
 func (p *PcapSource) Close() error { return p.r.Close() }
 
 // PoolStats reports the decode buffer pool's request/reuse counters.
@@ -162,6 +191,12 @@ func (p *PcapSource) Next(maxRows, maxBytes int) (Chunk, bool) {
 		Views:   views,
 		Labels:  make([]int, n),
 		Attacks: make([]string, n),
+	}
+	if p.refs && n > 0 {
+		if mp := p.r.Mapping(); mp != nil {
+			mp.Retain()
+			c.Ref = mp
+		}
 	}
 	p.base += n
 	p.emitted = true

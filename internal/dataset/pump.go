@@ -118,14 +118,18 @@ func (p *Pump) addInFlight(d int64) {
 }
 
 // Done releases one delivered chunk: its bytes leave the in-flight
-// account and, when recycling is on, its buffers return to the source's
-// pool. Call it exactly once per chunk received from C, from any
-// goroutine, only when nothing references the chunk's packets anymore.
+// account, its buffers return to the source's pool when recycling is on,
+// and its backing-resource reference (Chunk.Ref) is released — for
+// mmap-backed chunks from a rotated-capture watch this is what finally
+// lets the file's mapping unmap. Call it exactly once per chunk received
+// from C, from any goroutine, only when nothing references the chunk's
+// packets anymore.
 func (p *Pump) Done(ck NumberedChunk) {
 	p.addInFlight(-int64(ck.WireBytes()))
 	if p.rec != nil {
 		p.rec.Recycle(ck.Chunk)
 	}
+	ck.ReleaseRef()
 }
 
 // Stop aborts the source goroutine early (e.g. when the consumer hit an

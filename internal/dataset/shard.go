@@ -19,10 +19,33 @@ func ShardID(p *netpkt.Packet, k int) int {
 	return int(ft.ShardHash() % uint64(k))
 }
 
-// ShardIDs appends the shard lane of every packet in the chunk to dst
-// (reusing its capacity) and returns the extended slice. k must be at
-// most 256 so a lane fits in a byte.
+// ShardIDView is ShardID for a lazy PacketView: the five-tuple parses
+// from the L2-L4 headers without materializing app layers, so lazy
+// chunks route to lanes as cheaply as eager ones. Tuple lazily decodes
+// headers when they have not been touched yet — callers sharing views
+// across goroutines must predecode headers on the source goroutine
+// first (netpkt.PacketView is not concurrency-safe while decoding).
+func ShardIDView(v *netpkt.PacketView, k int) int {
+	if k <= 1 {
+		return 0
+	}
+	ft, ok := v.Tuple()
+	if !ok {
+		return 0
+	}
+	return int(ft.ShardHash() % uint64(k))
+}
+
+// ShardIDs appends the shard lane of every packet in the chunk — either
+// representation — to dst (reusing its capacity) and returns the
+// extended slice. k must be at most 256 so a lane fits in a byte.
 func (c Chunk) ShardIDs(k int, dst []uint8) []uint8 {
+	if c.Views != nil {
+		for i := range c.Views {
+			dst = append(dst, uint8(ShardIDView(&c.Views[i], k)))
+		}
+		return dst
+	}
 	for _, p := range c.Packets {
 		dst = append(dst, uint8(ShardID(p, k)))
 	}

@@ -22,6 +22,28 @@ type Chunk struct {
 	// carries no ground truth (live captures).
 	Labels  []int
 	Attacks []string
+	// Ref, when non-nil, is a reference the chunk holds on the resource
+	// backing its packet bytes — a refcounted file mapping
+	// (pcap.Mapping) for zero-copy chunks that must outlive their
+	// reader, as rotated-capture watches emit. The chunk's final owner
+	// releases it exactly once, after Recycle, via ReleaseRef; the
+	// backing resource stays alive until the last in-flight chunk does.
+	Ref ChunkRef
+}
+
+// ChunkRef is one releasable reference on a chunk's backing resource
+// (see Chunk.Ref). pcap.Mapping implements it.
+type ChunkRef interface {
+	Release() error
+}
+
+// ReleaseRef releases the chunk's backing-resource reference, if it
+// carries one. Call exactly once per delivered chunk, after the last
+// touch of its packet bytes (dataset.Pump does this in Done).
+func (c Chunk) ReleaseRef() {
+	if c.Ref != nil {
+		c.Ref.Release()
+	}
 }
 
 // Len returns the packet count of the chunk in either representation.

@@ -16,9 +16,11 @@ const mmapSupported = true
 // mapping: record data slices (and PacketViews built on them) alias the
 // mapped region directly, so the read path performs no per-record copy
 // and no per-record allocation. The mapping holds its own reference to
-// the file, so the caller may close f afterwards; the caller MUST call
-// Reader.Close once no record slice or view is referenced anymore —
-// touching one after Close faults.
+// the file, so the caller may close f (or even unlink the file — the
+// kernel pins the pages) afterwards; the caller MUST call Reader.Close
+// once no record slice or view is referenced anymore — touching one
+// after the mapping's last reference is released faults. Consumers whose
+// chunks outlive the reader retain extra references via Reader.Mapping.
 //
 // Only regular files at least a global header long can be mapped;
 // anything else (pipes, sockets, empty files) returns an error so
@@ -42,9 +44,9 @@ func OpenMmap(f *os.File) (*Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pcap: mmap %s: %w", f.Name(), err)
 	}
-	rd := &Reader{mm: mm, pos: 24}
+	rd := &Reader{mm: mm, mp: newMapping(mm), pos: 24}
 	if err := rd.parseGlobal(mm[:24]); err != nil {
-		syscall.Munmap(mm)
+		rd.Close()
 		return nil, err
 	}
 	return rd, nil

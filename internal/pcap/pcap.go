@@ -112,6 +112,58 @@ func (p *BufferPool) Stats() (gets, reuses uint64) {
 	return p.gets.Load(), p.reuses.Load()
 }
 
+// openMappings counts the live file mappings of the process: created by
+// OpenMmap, gone once the last reference (owner Reader plus any retained
+// chunk refs) is released. Exported through OpenMappings for leak gauges.
+var openMappings atomic.Int64
+
+// OpenMappings reports how many pcap file mappings are currently live —
+// readers still open plus mappings kept alive by retained references.
+// Operator surfaces use it as a leak gauge: after every source is closed
+// and every in-flight chunk released, it must return to its prior value.
+func OpenMappings() int64 { return openMappings.Load() }
+
+// Mapping is a refcounted memory-mapped pcap file. The Reader that
+// OpenMmap returns owns one reference (released by Reader.Close);
+// consumers whose record slices must outlive the reader — a directory
+// watch whose chunks survive each rotated file — Retain one reference
+// per in-flight chunk and Release it when the chunk is done. The region
+// is only unmapped when the count reaches zero, so record bytes stay
+// valid until the last holder lets go, regardless of the order in which
+// the reader closes and the chunks drain.
+type Mapping struct {
+	data []byte
+	refs atomic.Int64
+}
+
+// newMapping wraps a freshly mapped region with one owner reference.
+func newMapping(data []byte) *Mapping {
+	m := &Mapping{data: data}
+	m.refs.Store(1)
+	openMappings.Add(1)
+	return m
+}
+
+// Retain adds one reference; pair every Retain with exactly one Release.
+func (m *Mapping) Retain() { m.refs.Add(1) }
+
+// Release drops one reference and unmaps the region when it was the
+// last. Every record slice and view cut from the mapping becomes invalid
+// at that point. Safe to call from any goroutine.
+func (m *Mapping) Release() error {
+	n := m.refs.Add(-1)
+	if n > 0 {
+		return nil
+	}
+	if n < 0 {
+		panic("pcap: Mapping released more often than retained")
+	}
+	data := m.data
+	m.data = nil
+	openMappings.Add(-1)
+	return munmap(data)
+}
+
 // Magic numbers of the classic pcap format.
 const (
 	magicUsec = 0xa1b2c3d4
@@ -139,8 +191,10 @@ type Reader struct {
 	pool    *BufferPool
 
 	// mm/pos drive the zero-copy mode: the mapped file and the read
-	// offset into it. mm is nil in buffered mode.
+	// offset into it. mm is nil in buffered mode. mp is the refcounted
+	// handle behind mm; the reader holds the owner reference.
 	mm  []byte
+	mp  *Mapping
 	pos int
 }
 
@@ -190,6 +244,12 @@ func (r *Reader) parseGlobal(gh []byte) error {
 // Close).
 func (r *Reader) ZeroCopy() bool { return r.mm != nil }
 
+// Mapping returns the refcounted mapping behind a zero-copy reader (nil
+// in buffered mode, and after Close). Consumers that hand record slices
+// downstream past the reader's lifetime Retain it per chunk and Release
+// on the chunk's last use.
+func (r *Reader) Mapping() *Mapping { return r.mp }
+
 // Rewind repositions a zero-copy reader at the first record and reports
 // whether it could (false in buffered mode, where the caller must seek
 // the underlying stream and build a new Reader instead).
@@ -201,16 +261,19 @@ func (r *Reader) Rewind() bool {
 	return true
 }
 
-// Close releases the mapped region of a zero-copy reader; every record
-// slice and view it handed out becomes invalid. It is a no-op (and nil
-// error) in buffered mode, and idempotent in both.
+// Close releases the owner reference on the mapping of a zero-copy
+// reader. With no other references outstanding the region is unmapped
+// immediately and every record slice and view it handed out becomes
+// invalid; references retained via Mapping keep the region alive until
+// their own Release. It is a no-op (and nil error) in buffered mode, and
+// idempotent in both.
 func (r *Reader) Close() error {
-	if r.mm == nil {
+	if r.mp == nil {
 		return nil
 	}
-	mm := r.mm
-	r.mm = nil
-	return munmap(mm)
+	mp := r.mp
+	r.mm, r.mp = nil, nil
+	return mp.Release()
 }
 
 // LinkType reports the capture's link type.
